@@ -1,0 +1,48 @@
+"""Figure 1 — the example SG, its regions and detonant states.
+
+Regenerates: the SG of Figure 1 (OR-causality on both edges of ``c``),
+its excitation/quiescent regions for ``c``, and the two detonant
+states the paper points out (``0*0*0`` and ``1*1*1``).
+"""
+
+from repro.bench.circuits import figure1_sg
+from repro.sg import detonant_states, excitation_regions, signal_regions
+
+
+def regenerate() -> str:
+    sg = figure1_sg()
+    c = sg.signal_index("c")
+    lines = [
+        "Figure 1: example SG (inputs a, b; output c)",
+        f"states: {sg.num_states}",
+    ]
+    sr = signal_regions(sg, c)
+    for er, qr in zip(sr.excitation, sr.quiescent):
+        lines.append(
+            f"{er.label(sg)}: "
+            + ", ".join(sorted(sg.state_label(s) for s in er.states))
+        )
+        lines.append(
+            f"{qr.label(sg)}: "
+            + ", ".join(sorted(sg.state_label(s) for s in qr.states))
+        )
+    dets = sorted({sg.state_label(d.state) for d in detonant_states(sg, c)})
+    lines.append(f"detonant states w.r.t. c: {', '.join(dets)}")
+    return "\n".join(lines) + "\n"
+
+
+def test_fig1_regions(benchmark, save_artifact):
+    text = benchmark(regenerate)
+    save_artifact("fig1_sg_example.txt", text)
+    # paper: both the all-zero and all-one states are detonant
+    assert "0*0*0" in text and "1*1*1" in text
+    assert "ER(+c)" in text and "ER(-c)" in text
+
+
+def test_fig1_region_structure(benchmark):
+    sg = figure1_sg()
+    c = sg.signal_index("c")
+    ers = benchmark(lambda: excitation_regions(sg, c))
+    # OR-causality on both edges: one connected ER per direction,
+    # each containing three states ({100,010,110} and its dual)
+    assert sorted(len(r.states) for r in ers) == [3, 3]

@@ -1,0 +1,52 @@
+"""Figure 2 — a trigger region strictly inside its excitation region.
+
+Regenerates: the ER(+x) of the Figure 2 style SG, its internal
+branching, and the trigger region (the sub-region that, once entered,
+can only be left by firing ``+x``).
+"""
+
+from repro.bench.circuits import figure2_sg
+from repro.sg import excitation_regions, trigger_region_reachable_from_all, trigger_regions
+
+
+def regenerate() -> str:
+    sg = figure2_sg()
+    x = sg.signal_index("x")
+    lines = ["Figure 2: trigger region illustration"]
+    for er in excitation_regions(sg, x):
+        if not er.rising:
+            continue
+        lines.append(
+            f"{er.label(sg)} = "
+            + ", ".join(sorted(sg.state_label(s) for s in er.states))
+        )
+        for tr in trigger_regions(sg, er):
+            lines.append(
+                "TR(+x) = "
+                + ", ".join(sorted(sg.state_label(s) for s in tr.states))
+            )
+        lines.append(
+            f"trigger region reachable from every ER state: "
+            f"{trigger_region_reachable_from_all(sg, er)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig2_trigger_region(benchmark, save_artifact):
+    text = benchmark(regenerate)
+    save_artifact("fig2_trigger_region.txt", text)
+    assert "TR(+x)" in text
+    assert "True" in text  # Property 2
+
+
+def test_fig2_tr_strictly_smaller(benchmark):
+    sg = figure2_sg()
+    x = sg.signal_index("x")
+
+    def compute():
+        er = next(r for r in excitation_regions(sg, x) if r.rising)
+        return er, trigger_regions(sg, er)
+
+    er, trs = benchmark(compute)
+    assert len(trs) == 1
+    assert len(trs[0].states) < len(er.states)

@@ -1,0 +1,50 @@
+"""Figure 3 — the N-SHOT architecture instantiated for a specification.
+
+Regenerates: the block structure of Figure 3 for the non-distributive
+OR element — set/reset SOP planes, the two acknowledgement AND gates
+gated by the flip-flop's dual rails, the (here unnecessary) local
+delay compensation, and the MHS flip-flop — plus its structural
+Verilog.
+"""
+
+from repro.bench.circuits import figure1_csc_sg
+from repro.core import synthesize
+from repro.netlist import GateType, write_verilog
+
+
+def regenerate() -> tuple[str, object]:
+    sg = figure1_csc_sg()
+    circuit = synthesize(sg, name="fig3_orelement")
+    lines = ["Figure 3: N-SHOT architecture for the OR element", ""]
+    lines.append(circuit.netlist.describe())
+    lines.append("")
+    for req in circuit.delay_requirements.values():
+        lines.append("Equation (1): " + req.describe())
+    lines.append("")
+    lines.append(write_verilog(circuit.netlist))
+    return "\n".join(lines) + "\n", circuit
+
+
+def test_fig3_architecture(benchmark, save_artifact):
+    text, circuit = benchmark(regenerate)
+    save_artifact("fig3_architecture.txt", text)
+    nl = circuit.netlist
+    # one MHS flip-flop per non-input signal, dual-rail
+    mhs = [g for g in nl.gates if g.type == GateType.MHSFF]
+    assert len(mhs) == 1
+    assert mhs[0].output_n is not None
+    # acknowledgement gates reading the flip-flop rails
+    acks = [g for g in nl.gates if g.name.startswith("ack_")]
+    assert len(acks) == 2
+    rails = {mhs[0].output, mhs[0].output_n}
+    for g in acks:
+        assert rails & {p.net for p in g.inputs}
+    # no delay line needed (the paper's universal observation)
+    assert not circuit.compensation_required
+    assert not [g for g in nl.gates if g.type == GateType.DELAY]
+
+
+def test_fig3_synthesis_speed(benchmark):
+    sg = figure1_csc_sg()
+    circuit = benchmark(lambda: synthesize(sg, name="fig3"))
+    assert circuit.netlist.validate() == []

@@ -1,0 +1,58 @@
+"""Figure 4 — MHS flip-flop response to input pulses.
+
+Regenerates the figure's series: for a sweep of set-input pulse widths
+``v`` around the threshold ω, the flip-flop output — nothing for
+``v < ω``, a single transition translated forward by τ for ``v ≥ ω``.
+"""
+
+from repro.sim import MhsParams, mhs_response
+
+OMEGA, TAU = 0.4, 1.2
+PARAMS = MhsParams(OMEGA, TAU)
+WIDTHS = [0.05, 0.1, 0.2, 0.3, 0.39, 0.4, 0.41, 0.6, 0.8, 1.2, 2.0, 4.0]
+
+
+def regenerate() -> tuple[str, list]:
+    rows = []
+    lines = [
+        f"Figure 4: MHS response (omega={OMEGA}, tau={TAU})",
+        f"{'pulse width v':>14} {'fires':>6} {'output time':>12} {'t - edge':>9}",
+    ]
+    for v in WIDTHS:
+        events = mhs_response([(10.0, 10.0 + v)], PARAMS)
+        fires = bool(events)
+        t = events[0][0] if events else float("nan")
+        lines.append(
+            f"{v:>14.2f} {str(fires):>6} "
+            + (f"{t:>12.2f} {t - 10.0:>9.2f}" if fires else f"{'—':>12} {'—':>9}")
+        )
+        rows.append((v, fires, t))
+    return "\n".join(lines) + "\n", rows
+
+
+def test_fig4_pulse_sweep(benchmark, save_artifact):
+    text, rows = benchmark(regenerate)
+    save_artifact("fig4_mhs_response.txt", text)
+    for v, fires, t in rows:
+        if v < OMEGA:
+            assert not fires, f"pulse {v} below omega must be absorbed"
+        else:
+            assert fires, f"pulse {v} at/above omega must fire"
+            # "the output transition is simply translated forward by tau"
+            assert abs(t - (10.0 + TAU)) < 1e-9
+
+
+def test_fig4_monotone_threshold(benchmark):
+    """The response is a sharp threshold in pulse width."""
+
+    def firing_profile():
+        return [
+            bool(mhs_response([(0.0, w)], PARAMS))
+            for w in [k * 0.02 for k in range(1, 60)]
+        ]
+
+    profile = benchmark(firing_profile)
+    # once firing starts it never stops again as width grows
+    first_fire = profile.index(True)
+    assert all(profile[first_fire:])
+    assert not any(profile[:first_fire])

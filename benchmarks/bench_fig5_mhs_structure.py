@@ -1,0 +1,52 @@
+"""Figure 5 — the MHS flip-flop's internal structure.
+
+Regenerates: the gate-level anatomy of the cell (master RS latch →
+hazard filter → slave RS latch), its port list, the per-stage
+breakdown, and the area accounting that puts it in the same class as a
+C-element (footnote 4 of the paper).
+"""
+
+from repro.netlist import DEFAULT_LIBRARY, Gate, GateType, build_mhs_cell, MHS_STAGE_NAMES
+
+
+def regenerate() -> tuple[str, object]:
+    cell = build_mhs_cell()
+    lines = ["Figure 5: MHS flip-flop structure", ""]
+    lines.append(cell.describe())
+    lines.append("")
+    for stage in MHS_STAGE_NAMES:
+        gates = [g for g in cell.gates if g.attrs.get("stage") == stage]
+        lines.append(
+            f"stage {stage}: "
+            + ", ".join(f"{g.name}({g.type.value})" for g in gates)
+        )
+    mhs_area = DEFAULT_LIBRARY.gate_area(Gate("m", GateType.MHSFF, [], "q"))
+    cel_area = DEFAULT_LIBRARY.gate_area(Gate("c", GateType.CEL, [], "q"))
+    lines.append("")
+    lines.append(
+        f"area model: MHSFF={mhs_area:.0f}, C-element={cel_area:.0f} "
+        f"(ratio {mhs_area / cel_area:.2f} — 'comparable in physical size')"
+    )
+    return "\n".join(lines) + "\n", cell
+
+
+def test_fig5_structure(benchmark, save_artifact):
+    text, cell = benchmark(regenerate)
+    save_artifact("fig5_mhs_structure.txt", text)
+    assert cell.validate() == []
+    stages = [g.attrs.get("stage") for g in cell.gates]
+    # two filtering stages around the master: master, 2 filters, slave
+    assert stages.count("master") == 1
+    assert stages.count("filter") == 2
+    assert stages.count("slave") == 1
+    # dual-rail output and the slave_set/slave_reset nets of Figure 6
+    assert {"q", "qn"} <= set(cell.primary_outputs)
+    assert {"slave_set", "slave_reset"} <= cell.nets()
+
+
+def test_fig5_area_class(benchmark):
+    ratio = benchmark(
+        lambda: DEFAULT_LIBRARY.gate_area(Gate("m", GateType.MHSFF, [], "q"))
+        / DEFAULT_LIBRARY.gate_area(Gate("c", GateType.CEL, [], "q"))
+    )
+    assert 0.5 <= ratio <= 1.5

@@ -1,0 +1,92 @@
+"""Figure 6 — response of the MHS flip-flop to hazardous inputs.
+
+Regenerates the experiment behind the figure: a hazardous pulse train
+drives the set input (then the reset input); the MHS flip-flop
+produces exactly one clean up-transition per excitation phase, while a
+plain C-element/RS latch in the same position fires on runt pulses.
+The bench also reproduces the figure's point about the filter stage by
+simulating a full N-SHOT circuit and comparing glitch counts on the
+plane outputs vs the flip-flop output.
+"""
+
+from repro.bench.circuits import figure1_csc_sg
+from repro.core import synthesize
+from repro.sim import (
+    MhsParams,
+    SGEnvironment,
+    SimConfig,
+    Simulator,
+    analyze_hazards,
+    celement_response,
+    mhs_response,
+)
+
+OMEGA, TAU = 0.4, 1.2
+PARAMS = MhsParams(OMEGA, TAU)
+# the hazardous stream: runts at 1.0/1.4/2.0, a real pulse at 2.6
+TRAIN = [(1.0, 1.1), (1.4, 1.55), (2.0, 2.3), (2.6, 3.4), (3.8, 3.9)]
+
+
+def regenerate() -> tuple[str, dict]:
+    mhs_events = mhs_response(TRAIN, PARAMS)
+    cel_events = celement_response(TRAIN, TAU)
+    lines = [
+        "Figure 6: response to hazardous inputs",
+        "set-input pulse train: " + ", ".join(f"[{a}, {b}]" for a, b in TRAIN),
+        f"MHS flip-flop output transitions: {mhs_events}",
+        f"plain C-element output transitions: {cel_events}",
+    ]
+    data = {"mhs": mhs_events, "cel": cel_events}
+
+    # in-circuit version: glitchy planes, clean output
+    sg = figure1_csc_sg()
+    circuit = synthesize(sg, name="fig6", delay_spread=0.45)
+    sim = Simulator(circuit.netlist, SimConfig(jitter=0.45, seed=6))
+    env = SGEnvironment(sg, sim, seed=66)
+    report = env.run(max_time=1500.0, max_transitions=120)
+    hz = analyze_hazards(
+        sim.traces,
+        observable_nets=[sg.signals[a] for a in sg.non_inputs],
+        internal_nets=circuit.architecture.sop_nets,
+    )
+    lines.append("")
+    lines.append("closed loop: " + report.summary())
+    lines.append("hazard census: " + hz.summary())
+    data["closed_loop_ok"] = report.ok
+    data["internal"] = hz.internal_total
+    data["observable"] = hz.observable_total
+    return "\n".join(lines) + "\n", data
+
+
+def test_fig6_hazardous_inputs(benchmark, save_artifact):
+    text, data = benchmark(regenerate)
+    save_artifact("fig6_hazardous_inputs.txt", text)
+    # MHS: exactly one transition, caused by the only pulse >= omega
+    assert len(data["mhs"]) == 1
+    assert abs(data["mhs"][0][0] - (2.6 + TAU)) < 1e-9
+    # C-element: fires early, on the first runt
+    assert len(data["cel"]) == 1
+    assert data["cel"][0][0] < data["mhs"][0][0]
+    # the full circuit stays externally clean despite internal pulses
+    assert data["closed_loop_ok"]
+    assert data["observable"] == 0
+
+
+def test_fig6_filter_blocks_every_runt_train(benchmark):
+    """Randomized runt trains never commit the flip-flop."""
+    import random
+
+    def run():
+        rng = random.Random(42)
+        bad = 0
+        for _ in range(200):
+            t, train = 0.0, []
+            for _ in range(rng.randint(1, 8)):
+                t += rng.uniform(0.5, 2.0)
+                train.append((t, t + rng.uniform(0.01, OMEGA - 0.02)))
+                t = train[-1][1]
+            if mhs_response(train, PARAMS):
+                bad += 1
+        return bad
+
+    assert benchmark(run) == 0

@@ -1,0 +1,153 @@
+"""Theorems 1/2 in simulation — hazard-freeness and its necessity.
+
+Two experiments:
+
+1. **Theorem 2 (sufficiency)** — Monte-Carlo closed-loop verification
+   of synthesized circuits (distributive and not): internal SOP pulse
+   streams occur, observable signals never glitch, no deadlock.
+2. **Theorem 1 (necessity ablation)** — deliberately fragment the
+   trigger cube of the non-single-traversal Figure 7(b) circuit (two
+   half-cubes split on the free-running clock) and drive the clock
+   fast: the pulses exciting the flip-flop can now all be shorter than
+   ω, so the flip-flop may never fire — the deadlock scenario of the
+   Theorem 1 proof.  With the trigger cube restored the same
+   environment always makes progress.
+"""
+
+from repro.bench.circuits import figure1_csc_sg, figure7b_sg
+from repro.core import build_nshot_netlist, derive_sop_spec, synthesize, verify_hazard_freeness
+from repro.logic import Cover, Cube
+from repro.sim import MhsParams, SGEnvironment, SimConfig, Simulator
+from repro.stg import elaborate, parse_g
+
+CELEM = """
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+def regenerate_sufficiency() -> tuple[str, dict]:
+    lines = ["Theorem 2 sufficiency: Monte-Carlo closed loop", ""]
+    data = {}
+    for name, sg in (
+        ("celem", elaborate(parse_g(CELEM))),
+        ("or-element", figure1_csc_sg()),
+        ("fig7b", figure7b_sg()),
+    ):
+        circuit = synthesize(sg, name=name, delay_spread=0.45)
+        summary = verify_hazard_freeness(circuit, runs=4, max_transitions=100)
+        lines.append(f"{name:12} {summary.summary()}")
+        data[name] = summary
+    return "\n".join(lines) + "\n", data
+
+
+def test_theorem2_sufficiency(benchmark, save_artifact):
+    text, data = benchmark.pedantic(
+        regenerate_sufficiency, iterations=1, rounds=1
+    )
+    save_artifact("hazard_freeness.txt", text)
+    for name, summary in data.items():
+        assert summary.ok, name
+        assert summary.total_observable_glitches == 0
+    # at least one specification visibly exercises internal hazards
+    assert any(s.total_internal_glitches > 0 for s in data.values())
+
+
+def _fragmented_fig7b_netlist():
+    """Figure 7(b) with the set trigger cube split on the clock."""
+    sg = figure7b_sg()
+    spec = derive_sop_spec(sg)
+    r, clk, y = (sg.signal_index(s) for s in ("r", "clk", "y"))
+    so = spec.output_index(y, "set")
+    ro = spec.output_index(y, "reset")
+    n = sg.num_signals
+
+    def cube(bits, out):
+        c = Cube.full(n, 1 << out)
+        for var, val in bits.items():
+            c = c.with_literal(var, 0b10 if val else 0b01)
+        return c
+
+    fragmented = Cover(
+        n,
+        spec.num_outputs,
+        [
+            cube({r: 1, y: 0, clk: 0}, so),
+            cube({r: 1, y: 0, clk: 1}, so),
+            cube({r: 0, y: 1}, ro),
+        ],
+    )
+    arch = build_nshot_netlist(spec, fragmented, name="fig7b_fragmented")
+    # adversarial (but bounded) gate delays, per the Theorem 1 proof:
+    # "we cannot predict the speed at which those cubes are traversed" —
+    # skew the two half-cube AND gates so each clock handoff opens a gap
+    # in the OR plane, resetting the flip-flop's candidate window
+    half_cubes = [g for g in arch.netlist.gates if g.name.startswith("and_sy")]
+    assert len(half_cubes) == 2
+    half_cubes[0].delay = 0.6
+    half_cubes[1].delay = 1.4
+    return sg, arch.netlist
+
+
+def test_theorem1_necessity_ablation(benchmark):
+    """Fragmented trigger cube + fast clock ⇒ the flip-flop starves.
+
+    With equal gate delays the OR plane dips at *every* clock handoff
+    between the two half-cubes, so each pulse exciting the MHS
+    flip-flop is shorter than ω and the window never matures — the
+    deadlock of the Theorem 1 necessity proof.  (The circuit is
+    livelocked by the free-running clock, so the failure signature is
+    "zero observable transitions despite a pending request".)  The
+    proper single-trigger-cube cover, driven identically, always makes
+    progress.
+    """
+    sg7 = figure7b_sg()
+    proper = synthesize(sg7, name="fig7b")
+
+    BUDGET = 40
+
+    def run() -> tuple[list, list, int]:
+        frag_counts, proper_counts, proper_bad = [], [], 0
+        # omega just under tau: only pulses >= 1.1 commit.  The clock
+        # (toggling every 0.05-0.5) makes the fragmented OR plane dip at
+        # the half-cube handoffs, so most candidate windows are killed
+        # before maturing — the flip-flop starves for unbounded
+        # stretches, exactly the "may enter a deadlock" of the proof.
+        mhs = MhsParams(omega=1.1, tau=1.2)
+        for seed in range(8):
+            sgf, frag_nl = _fragmented_fig7b_netlist()
+            sim = Simulator(frag_nl, SimConfig(jitter=0.0, seed=seed, mhs=mhs))
+            env = SGEnvironment(sgf, sim, seed=seed, input_delay=(0.05, 0.5))
+            rep = env.run(max_time=400.0, max_transitions=BUDGET)
+            frag_counts.append(rep.transitions_observed)
+
+            sim2 = Simulator(
+                proper.netlist, SimConfig(jitter=0.0, seed=seed, mhs=mhs)
+            )
+            env2 = SGEnvironment(sg7, sim2, seed=seed, input_delay=(0.05, 0.5))
+            rep2 = env2.run(max_time=400.0, max_transitions=BUDGET)
+            proper_counts.append(rep2.transitions_observed)
+            if not rep2.ok:
+                proper_bad += 1
+        return frag_counts, proper_counts, proper_bad
+
+    frag_counts, proper_counts, proper_bad = benchmark.pedantic(
+        run, iterations=1, rounds=1
+    )
+    # the proper cover always exhausts its transition budget cleanly
+    assert proper_bad == 0
+    assert all(c == BUDGET for c in proper_counts), proper_counts
+    # the fragmented cover starves: some runs stall below the budget,
+    # and aggregate throughput drops
+    assert any(c < BUDGET for c in frag_counts), frag_counts
+    assert sum(frag_counts) < sum(proper_counts)

@@ -1,0 +1,95 @@
+"""Section II — the quantitative claims against the Q-module approach.
+
+The paper argues the locally-clocked Q-module architecture [9] "can be
+significantly more expensive in terms of both area and performance"
+because it needs (a) a Q-flop on *every* external input and feedback
+signal ("typically much more than the number of feedback state
+signals"), (b) a tree of N C-elements for the N-way rendezvous, and
+(c) a delay line at least as long as the combinational worst path.
+
+This bench regenerates the comparison across the suite and asserts
+each of those structural claims, plus the complex-gate reference point
+([2, 17]) that bounds what any latch-based method can hope for.
+"""
+
+from repro.baselines import synthesize_complex_gate, synthesize_qmodule
+from repro.bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
+from repro.bench.runner import sg_of
+from repro.core import synthesize
+
+SAMPLE = ["chu133", "chu172", "full", "qr42", "sbuf-send-ctl", "pe-send-ifc",
+          "pmcm1", "combuf2"]
+
+
+def regenerate() -> tuple[str, list]:
+    header = (
+        f"{'circuit':15} {'N-SHOT':>10} {'Q-module':>10} {'cgate':>10} "
+        f"{'qflops':>7} {'latches(N-SHOT)':>16}"
+    )
+    lines = ["Section II: N-SHOT vs the locally-clocked Q-module approach",
+             header, "-" * len(header)]
+    rows = []
+    for name in SAMPLE:
+        sg = sg_of(name)
+        ours = synthesize(sg, name=name)
+        qmod = synthesize_qmodule(sg, name=name)
+        cg = synthesize_complex_gate(sg, name=name)
+        lines.append(
+            f"{name:15} {ours.stats().row():>10} {qmod.stats().row():>10} "
+            f"{cg.stats().row():>10} {qmod.num_qflops:>7} "
+            f"{len(sg.non_inputs):>16}"
+        )
+        rows.append((name, sg, ours, qmod, cg))
+    return "\n".join(lines) + "\n", rows
+
+
+def test_qmodule_costs(benchmark, save_artifact):
+    text, rows = benchmark.pedantic(regenerate, iterations=1, rounds=1)
+    save_artifact("related_work_qmodule.txt", text)
+    for name, sg, ours, qmod, _ in rows:
+        # (a) many more memory elements: one Q-flop per input AND
+        # feedback signal vs one MHS flip-flop per non-input signal
+        assert qmod.num_qflops == sg.num_signals
+        assert qmod.num_qflops > len(sg.non_inputs)
+        # (b) the rendezvous tree exists: N-1 extra C-elements
+        assert qmod.rendezvous_cells == sg.num_signals - 1
+        # (c) the clock delay line covers the combinational worst path
+        assert qmod.clock_delay_line >= 1.2
+        # the paper's bottom line: more area and no faster
+        assert qmod.stats().area > ours.stats().area, name
+        assert qmod.stats().delay >= ours.stats().delay, name
+
+
+def test_qmodule_handles_nondistributive_but_expensively(benchmark):
+    """[9] has no distributivity restriction — its problem is cost."""
+
+    def run():
+        out = []
+        for name in NONDISTRIBUTIVE_BENCHMARKS:
+            sg = sg_of(name)
+            qmod = synthesize_qmodule(sg, name=name)
+            ours = synthesize(sg, name=name)
+            out.append((name, qmod.stats().area, ours.stats().area))
+        return out
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    for name, q_area, our_area in rows:
+        assert q_area > our_area, name
+
+
+def test_complex_gate_is_the_idealized_floor(benchmark):
+    """[2, 17]'s single-complex-gate assumption under-counts what basic
+    gates can do — it lower-bounds every realizable flow here."""
+
+    def run():
+        out = []
+        for name in ("chu133", "full", "pmcm1"):
+            sg = sg_of(name)
+            cg = synthesize_complex_gate(sg, name=name)
+            ours = synthesize(sg, name=name)
+            out.append((name, cg.stats(), ours.stats()))
+        return out
+
+    for name, cg_stats, our_stats in benchmark.pedantic(run, iterations=1, rounds=1):
+        assert cg_stats.area < our_stats.area, name
+        assert cg_stats.delay <= our_stats.delay, name

@@ -1,0 +1,70 @@
+"""Tool scalability — synthesis cost vs specification size.
+
+Not a paper table, but the property that made ASSASSIN usable on
+``tsbmsiBRK`` (4729 states): the flow's cost is dominated by state
+enumeration and stays tractable as the state count grows
+exponentially.  This bench sweeps Muller pipelines (the state count
+doubles per stage) through the full flow and records wall-clock and
+result sizes; the assertion is qualitative (completes within budget,
+cover size grows linearly in the number of signals, not states).
+"""
+
+import time
+
+from repro.bench.circuits.handshakes import muller_pipeline
+from repro.core import synthesize
+from repro.stg import elaborate
+
+STAGES = [2, 4, 6, 8]
+
+
+def regenerate() -> tuple[str, list]:
+    header = (
+        f"{'stages':>6} {'signals':>8} {'states':>8} {'cover cubes':>12} "
+        f"{'area':>8} {'delay':>6} {'seconds':>8}"
+    )
+    lines = ["Scalability: Muller pipelines through the full flow", header,
+             "-" * len(header)]
+    rows = []
+    for n in STAGES:
+        t0 = time.time()
+        sg = elaborate(muller_pipeline(n, name=f"pipe{n}"))
+        circuit = synthesize(sg, name=f"pipe{n}")
+        dt = time.time() - t0
+        s = circuit.stats()
+        lines.append(
+            f"{n:>6} {sg.num_signals:>8} {sg.num_states:>8} "
+            f"{len(circuit.cover):>12} {s.area:>8.0f} {s.delay:>6.1f} {dt:>8.2f}"
+        )
+        rows.append((n, sg, circuit, dt))
+    return "\n".join(lines) + "\n", rows
+
+
+def test_scalability_sweep(benchmark, save_artifact):
+    text, rows = benchmark.pedantic(regenerate, iterations=1, rounds=1)
+    save_artifact("scalability.txt", text)
+    for n, sg, circuit, dt in rows:
+        # state counts double per stage; the cover grows with signals
+        assert sg.num_states == 2 ** (n + 2)
+        assert len(circuit.cover) <= 4 * sg.num_signals
+        assert not circuit.compensation_required
+    # largest instance stays tractable
+    assert rows[-1][3] < 60.0
+
+
+def test_critical_path_is_the_four_level_story(benchmark):
+    """The worst path of a pipeline is AND → OR → ack-AND → MHS —
+    the 4 × 1.2 ns = 4.8 ns cell of Table 2."""
+    sg = elaborate(muller_pipeline(6, name="pipe6"))
+
+    def trace():
+        circuit = synthesize(sg, name="pipe6")
+        return circuit, circuit.netlist.critical_path_trace()
+
+    circuit, path = benchmark.pedantic(trace, iterations=1, rounds=1)
+    assert circuit.stats().delay == 4.8
+    kinds = [circuit.netlist.driver(n) for n in []]  # keep linters quiet
+    names = [name for name, _ in path]
+    assert names[-1].startswith("mhs_")
+    assert any(name.startswith("ack_") for name in names)
+    assert len(path) == 4

@@ -1,0 +1,58 @@
+"""Table 2, part 2 — the 6 non-distributive industrial circuits.
+
+Regenerates the second half of Table 2: SIS and SYN report the
+failure code ``(1)`` on every circuit; ASSASSIN/N-SHOT synthesizes all
+of them.  ("For these non-distributive designs, no comparison is
+currently possible.")
+"""
+
+from repro.bench import run_benchmark
+from repro.bench.circuits import NONDISTRIBUTIVE_BENCHMARKS
+from repro.core import synthesize, verify_hazard_freeness
+from repro.bench.runner import sg_of
+
+
+def regenerate() -> tuple[str, list]:
+    rows = [run_benchmark(n) for n in NONDISTRIBUTIVE_BENCHMARKS]
+    header = (
+        f"{'Circuit':15} {'states':>6} {'SIS':>6} {'SYN':>6} {'ASSASSIN':>10}"
+        f"   |  paper ASSASSIN: {'':>8}"
+    )
+    lines = ["Table 2 (part 2): non-distributive industrial designs", header,
+             "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:15} {r.states:>6} {r.sis:>6} {r.syn:>6} {r.assassin:>10}"
+            f"   |  {r.paper_assassin:>24}"
+        )
+    return "\n".join(lines) + "\n", rows
+
+
+def test_table2_nondistributive(benchmark, save_artifact):
+    text, rows = benchmark.pedantic(regenerate, iterations=1, rounds=1)
+    save_artifact("table2_nondistributive.txt", text)
+    assert len(rows) == 6
+    for r in rows:
+        assert r.sis == "(1)", r.name
+        assert r.syn == "(1)", r.name
+        assert "/" in r.assassin, r.name
+        assert not r.compensation_required, r.name
+
+
+def test_table2_nondistributive_verified_in_closed_loop(benchmark):
+    """The two smallest industrial circuits also pass Monte-Carlo
+    closed-loop verification (the gate/transistor simulation stand-in)."""
+
+    def run():
+        results = {}
+        for name in ("pmcm2", "pmcm1"):
+            sg = sg_of(name)
+            circuit = synthesize(sg, name=name, delay_spread=0.45)
+            results[name] = verify_hazard_freeness(
+                circuit, runs=3, max_transitions=60
+            )
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    for name, summary in results.items():
+        assert summary.ok, (name, summary.summary())

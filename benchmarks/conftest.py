@@ -1,0 +1,34 @@
+"""Shared machinery for the paper-reproduction benches.
+
+Every ``bench_*`` file regenerates one table or figure of the paper.
+Regenerated artefacts (the text of each table/figure's data) are
+written under ``benchmarks/results/`` so they can be inspected and
+diffed against EXPERIMENTS.md; the pytest-benchmark fixture times the
+computation that produces them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Write one regenerated table/figure to ``benchmarks/results/``."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = results_dir / name
+        path.write_text(text)
+        return path
+
+    return _save

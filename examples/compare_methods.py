@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Three-flow comparison on selected Table 2 benchmarks.
+
+Runs the SIS/Lavagno bounded-delay flow, the SYN/Beerel
+speed-independent flow and the ASSASSIN/N-SHOT flow on a selection of
+reconstructed benchmarks, printing the paper's Table 2 side by side
+with the reproduction.
+
+Run:  python examples/compare_methods.py [benchmark ...]
+"""
+
+import sys
+
+from repro.bench import run_benchmark
+from repro.bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
+
+DEFAULT = [
+    "chu133",
+    "chu172",
+    "converta",
+    "full",
+    "sbuf-send-ctl",
+    "pe-send-ifc",
+    "pmcm1",
+    "sing2dual-out",
+]
+
+
+def main(names: list[str]) -> None:
+    header = (
+        f"{'circuit':15} {'states':>6} | {'SIS':>10} {'SYN':>10} {'N-SHOT':>10}"
+        f" | paper: {'SIS':>9} {'SYN':>9} {'ASSASSIN':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        if name not in DISTRIBUTIVE_BENCHMARKS and name not in NONDISTRIBUTIVE_BENCHMARKS:
+            print(f"{name:15} (unknown benchmark — see repro.bench.circuits)")
+            continue
+        row = run_benchmark(name)
+        print(
+            f"{row.name:15} {row.states:>6} | {row.sis:>10} {row.syn:>10} "
+            f"{row.assassin:>10} |        {row.paper_sis:>9} {row.paper_syn:>9} "
+            f"{row.paper_assassin:>9}"
+        )
+    print()
+    print("failure codes, as in the paper: (1) non-distributive specification,")
+    print("(2) state signals required. Absolute numbers differ (reconstructed")
+    print("benchmarks, synthetic library) — the comparison *shape* is the result.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Export every interchange artefact for one design.
+
+Synthesizes the non-distributive OR element and writes, under
+``artifacts/``:
+
+* ``orelement.g``      — the specification as an STG would print (here
+                         the SG serialization, since OR-causality has
+                         no safe-net STG form),
+* ``orelement.sg``     — the state graph in ``.sg`` format,
+* ``orelement.pla``    — the minimized multi-output cover,
+* ``orelement.v``      — structural Verilog of the N-SHOT netlist,
+* ``orelement_sg.dot`` — the SG with region colouring (Graphviz),
+* ``orelement_nl.dot`` — the netlist diagram (Figure 3 style),
+* ``orelement.vcd``    — a closed-loop simulation trace for GTKWave.
+
+Run:  python examples/export_artifacts.py [outdir]
+"""
+
+import pathlib
+import sys
+
+from repro import synthesize, write_verilog
+from repro.bench.circuits import figure1_csc_sg
+from repro.logic import write_pla
+from repro.sg import netlist_to_dot, sg_to_dot, signal_regions, write_sg
+from repro.sim import SGEnvironment, SimConfig, Simulator, write_vcd
+
+
+def main(outdir: str = "artifacts") -> None:
+    out = pathlib.Path(outdir)
+    out.mkdir(exist_ok=True)
+
+    sg = figure1_csc_sg()
+    circuit = synthesize(sg, name="orelement", delay_spread=0.45)
+
+    # specification formats
+    (out / "orelement.sg").write_text(write_sg(sg, "orelement"))
+
+    # the minimized cover as PLA
+    spec = circuit.spec
+    names = [spec.output_name(o) for o in range(spec.num_outputs)]
+    (out / "orelement.pla").write_text(
+        write_pla(circuit.cover, input_names=sg.signals, output_names=names)
+    )
+
+    # the netlist as Verilog
+    (out / "orelement.v").write_text(write_verilog(circuit.netlist))
+
+    # Graphviz views
+    c = sg.signal_index("c")
+    regions = signal_regions(sg, c)
+    (out / "orelement_sg.dot").write_text(
+        sg_to_dot(sg, regions.excitation + regions.quiescent,
+                  title="OR element — regions of c")
+    )
+    (out / "orelement_nl.dot").write_text(
+        netlist_to_dot(circuit.netlist, title="N-SHOT architecture")
+    )
+
+    # a closed-loop trace as VCD
+    sim = Simulator(circuit.netlist, SimConfig(jitter=0.45, seed=11))
+    env = SGEnvironment(sg, sim, seed=11)
+    report = env.run(max_time=600.0, max_transitions=60)
+    interesting = (
+        list(circuit.netlist.primary_inputs)
+        + circuit.architecture.sop_nets
+        + [s for s in circuit.netlist.primary_outputs]
+    )
+    (out / "orelement.vcd").write_text(write_vcd(sim.traces, nets=interesting))
+
+    print(f"simulation: {report.summary()}")
+    for p in sorted(out.iterdir()):
+        print(f"wrote {p} ({p.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "artifacts")

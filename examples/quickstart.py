@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: specify, synthesize, inspect, verify.
+
+Synthesizes two specifications end-to-end through the N-SHOT flow:
+
+1. a Muller C-element given as a Signal Transition Graph (`.g` text),
+2. the paper's Figure-1-style **non-distributive** OR-causality element
+   — the class of circuit the existing flows in Table 2 cannot handle
+   at all — and shows that its SOP planes glitch internally while the
+   observable output stays hazard-free.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    elaborate,
+    parse_g,
+    synthesize,
+    validate_for_synthesis,
+    verify_hazard_freeness,
+    write_verilog,
+)
+from repro.bench.circuits import figure1_csc_sg
+from repro.sg import detonant_states, is_distributive
+
+C_ELEMENT_G = """
+.model celement
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    print("=" * 70)
+    print("1. C-element from an STG specification")
+    print("=" * 70)
+    sg = elaborate(parse_g(C_ELEMENT_G))
+    print(f"state graph: {sg.num_states} states over signals {sg.signals}")
+    print(validate_for_synthesis(sg).summary())
+
+    circuit = synthesize(sg, name="celement", delay_spread=0.4)
+    print()
+    print(circuit.describe())
+    print()
+    print(circuit.netlist.describe())
+
+    print()
+    print("closed-loop Monte-Carlo verification (random gate delays):")
+    print(" ", verify_hazard_freeness(circuit, runs=5).summary())
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 70)
+    print("2. Non-distributive OR-causality element (Figure 1 style)")
+    print("=" * 70)
+    nd = figure1_csc_sg()
+    c = nd.signal_index("c")
+    det = sorted({nd.state_label(d.state) for d in detonant_states(nd, c)})
+    print(f"distributive: {is_distributive(nd)} — detonant states w.r.t. c: {det}")
+    print("(SIS/Lavagno and SYN/Beerel reject this specification outright)")
+
+    circuit2 = synthesize(nd, name="or_element", delay_spread=0.4)
+    print()
+    print(circuit2.describe())
+    summary = verify_hazard_freeness(circuit2, runs=5)
+    print()
+    print("verification:", summary.summary())
+    print(
+        f"  → the SOP planes glitched {summary.total_internal_glitches} times "
+        "internally; the MHS flip-flop filtered every pulse: 0 observable hazards"
+    )
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 70)
+    print("3. Structural Verilog of the C-element N-SHOT implementation")
+    print("=" * 70)
+    print(write_verilog(circuit.netlist))
+
+
+if __name__ == "__main__":
+    main()

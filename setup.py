@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has no `wheel` package and no
+network, so PEP 517 editable installs are unavailable; a setup.py-based
+install (`pip install -e .`) works offline."""
+from setuptools import setup
+
+setup()

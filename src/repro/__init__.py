@@ -1,0 +1,106 @@
+"""repro — Externally Hazard-Free Implementations of Asynchronous Circuits.
+
+A from-scratch Python reproduction of Sawasaki, Ykman-Couvreur & Lin
+(DAC 1995): the **N-SHOT architecture** and the ASSASSIN-style
+synthesis flow that implements any semi-modular state graph with input
+choices satisfying CSC — distributive or not — as a gate-level circuit
+whose combinational SOP planes may glitch freely while every externally
+observable non-input signal stays hazard-free.
+
+Typical use::
+
+    from repro import parse_g, elaborate, synthesize, verify_hazard_freeness
+
+    sg = elaborate(parse_g(open("ctrl.g").read()))
+    circuit = synthesize(sg, name="ctrl")
+    print(circuit.describe())
+    print(verify_hazard_freeness(circuit).summary())
+
+Package map:
+
+* :mod:`repro.logic` — two-level minimization (ESPRESSO-style + exact);
+* :mod:`repro.sg` — state graphs, CSC/semi-modularity/distributivity,
+  excitation/quiescent/trigger regions;
+* :mod:`repro.stg` — Signal Transition Graph front-end (``.g`` format);
+* :mod:`repro.netlist` — gates, SIS-style area/delay library, netlists;
+* :mod:`repro.sim` — pure-delay event simulation, the MHS flip-flop
+  model, SG-driven environment, hazard analysis;
+* :mod:`repro.core` — the N-SHOT synthesis flow (the contribution);
+* :mod:`repro.baselines` — SIS/Lavagno, SYN/Beerel and complex-gate
+  comparison flows;
+* :mod:`repro.bench` — Table 2 benchmark reconstructions and runner.
+"""
+
+from .logic import Cover, Cube, espresso, exact_minimize, minimize
+from .sg import (
+    SGBuilder,
+    StateGraph,
+    Transition,
+    is_distributive,
+    is_semimodular_with_input_choices,
+    is_single_traversal,
+    satisfies_csc,
+    signal_regions,
+    validate_for_synthesis,
+)
+from .stg import Stg, elaborate, parse_g, write_g
+from .netlist import Netlist, write_verilog
+from .sim import SGEnvironment, SimConfig, Simulator, analyze_hazards, mhs_response
+from .core import (
+    NShotCircuit,
+    SynthesisError,
+    TriggerRequirementError,
+    synthesize,
+    verify_hazard_freeness,
+)
+from .baselines import (
+    NotDistributiveError,
+    StateSignalsRequiredError,
+    synthesize_beerel,
+    synthesize_complex_gate,
+    synthesize_lavagno,
+)
+from .bench import run_benchmark, run_table2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cover",
+    "Cube",
+    "espresso",
+    "exact_minimize",
+    "minimize",
+    "SGBuilder",
+    "StateGraph",
+    "Transition",
+    "is_distributive",
+    "is_semimodular_with_input_choices",
+    "is_single_traversal",
+    "satisfies_csc",
+    "signal_regions",
+    "validate_for_synthesis",
+    "Stg",
+    "elaborate",
+    "parse_g",
+    "write_g",
+    "Netlist",
+    "write_verilog",
+    "SGEnvironment",
+    "SimConfig",
+    "Simulator",
+    "analyze_hazards",
+    "mhs_response",
+    "NShotCircuit",
+    "SynthesisError",
+    "TriggerRequirementError",
+    "synthesize",
+    "verify_hazard_freeness",
+    "NotDistributiveError",
+    "StateSignalsRequiredError",
+    "synthesize_beerel",
+    "synthesize_complex_gate",
+    "synthesize_lavagno",
+    "run_benchmark",
+    "run_table2",
+    "__version__",
+]

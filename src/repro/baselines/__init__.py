@@ -1,0 +1,44 @@
+"""Baseline synthesis flows the paper compares against in Table 2.
+
+* :mod:`repro.baselines.lavagno` — SIS bounded-delay hazard-free flow
+  ([5]): hazard-free covers plus delay padding; distributive only.
+* :mod:`repro.baselines.beerel` — SYN speed-independent flow ([1]):
+  monotonous-cover set/reset planes into latches with explicit
+  acknowledgement hardware; distributive only.
+* :mod:`repro.baselines.complex_gate` — one-complex-gate-per-signal
+  methods ([2, 17]); related-work reference point.
+* :mod:`repro.baselines.qflop` — the locally-clocked Q-module approach
+  ([9]): Q-flop synchronizers on every input and feedback signal, an
+  N-way C-element rendezvous and a worst-case-delay local clock; the
+  cost structure Section II argues against.
+"""
+
+from .hazard_free_sop import (
+    NextStateSpec,
+    next_state_function,
+    static_one_hazard_pairs,
+    add_hazard_cover_cubes,
+    function_hazard_states,
+)
+from .lavagno import LavagnoResult, NotDistributiveError, synthesize_lavagno
+from .beerel import BeerelResult, StateSignalsRequiredError, synthesize_beerel
+from .complex_gate import ComplexGateResult, synthesize_complex_gate
+from .qflop import QModuleResult, synthesize_qmodule
+
+__all__ = [
+    "NextStateSpec",
+    "next_state_function",
+    "static_one_hazard_pairs",
+    "add_hazard_cover_cubes",
+    "function_hazard_states",
+    "LavagnoResult",
+    "NotDistributiveError",
+    "synthesize_lavagno",
+    "BeerelResult",
+    "StateSignalsRequiredError",
+    "synthesize_beerel",
+    "ComplexGateResult",
+    "synthesize_complex_gate",
+    "QModuleResult",
+    "synthesize_qmodule",
+]

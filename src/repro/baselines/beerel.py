@@ -1,0 +1,247 @@
+"""SYN/Beerel-style speed-independent baseline flow ([1] in the paper).
+
+Algorithmic model of the flow Table 2's ``SYN`` column came from:
+
+1. **Restricted to distributive SGs** — failure code ``(1)`` otherwise.
+2. The architecture is set/reset SOP planes into a **C-element** per
+   non-input signal — structurally close to N-SHOT, which is why the
+   paper's numbers for SYN and ASSASSIN often match.
+3. The covers must however be **speed-independent without hazard
+   filtering**: each excitation region is implemented by a *monotonous*
+   single cube (one AND gate per ER that covers the whole ER and may
+   extend only into that ER's own quiescent region or unreachable
+   codes — never into foreign don't-care territory the way the N-SHOT
+   minimizer freely does).  When no such cube exists the flow needs
+   additional state signals: failure code ``(2)``.
+4. Cubes whose switch-off is *not acknowledged* by the output's own
+   transition (cubes that persist into the quiescent region and are
+   eventually turned off by a later input change) need **extra
+   acknowledgement hardware** — modelled as one 2-input gate each.
+   This is the "extra internal hardware to ensure proper
+   acknowledgement" that makes SYN noticeably bigger on
+   ``pe-send-ifc``/``wrdatab``/``sbuf-send-ctl``/``pr-rcv-ifc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import Cover, Cube, supercube_of
+from ..netlist import Gate, GateType, Netlist, Pin
+from ..netlist.trees import build_gate_tree
+from ..sg.distributivity import is_distributive
+from ..sg.encoding import unreachable_cover
+from ..sg.graph import StateGraph
+from ..sg.properties import validate_for_synthesis
+from ..sg.regions import signal_regions
+from .lavagno import NotDistributiveError
+
+__all__ = ["BeerelResult", "StateSignalsRequiredError", "synthesize_beerel"]
+
+
+class StateSignalsRequiredError(ValueError):
+    """Table 2 failure code (2): monotonous covers need new state signals."""
+
+
+@dataclass
+class BeerelResult:
+    """Outcome of the SYN-style flow."""
+
+    sg: StateGraph
+    netlist: Netlist
+    covers: dict[tuple[int, str], Cover]
+    ack_gates_added: int
+    unacknowledged_cubes: list[str] = field(default_factory=list)
+
+    def stats(self):
+        return self.netlist.stats()
+
+
+def _monotonous_cube(
+    sg: StateGraph, er_states: set, allowed: set[int], name: str
+) -> Cube:
+    """A single cube covering an ER, confined to its allowed codes.
+
+    ``allowed`` is the set of binary codes the cube may touch (the ER,
+    its own QR, and unreachable codes).  The cube starts as the ER's
+    supercube and greedily expands one variable at a time while staying
+    inside ``allowed``.  Raises when even the supercube leaves the
+    allowed set.
+    """
+    n = sg.num_signals
+    sc = supercube_of(Cube.from_minterm(sg.code(s), n) for s in er_states)
+    assert sc is not None
+
+    def inside(cube: Cube) -> bool:
+        return all(m in allowed for m in cube.minterms())
+
+    if not inside(sc):
+        raise StateSignalsRequiredError(
+            f"(2) excitation region of {name} has no monotonous cover cube; "
+            "state signals required"
+        )
+    improved = True
+    while improved:
+        improved = False
+        for var in sc.fixed_vars():
+            raised = sc.raise_var(var)
+            if inside(raised):
+                sc = raised
+                improved = True
+    return sc
+
+
+def synthesize_beerel(
+    sg: StateGraph,
+    name: str = "syn",
+    validate: bool = True,
+) -> BeerelResult:
+    """Run the standard-C monotonous-cover flow on a distributive SG."""
+    if validate:
+        rep = validate_for_synthesis(sg)
+        if not rep.ok:
+            raise ValueError(rep.summary())
+    if not is_distributive(sg):
+        raise NotDistributiveError(
+            "(1) non-distributive SG: SYN/Beerel flow not applicable"
+        )
+
+    nl = Netlist(name)
+    for i in sorted(sg.inputs):
+        nl.add_input(sg.signals[i])
+    for a in sg.non_inputs:
+        nl.add_output(sg.signals[a])
+
+    unreachable = {
+        m for c in unreachable_cover(sg).cubes for m in c.minterms()
+    } if sg.num_signals <= 16 else set()
+
+    covers: dict[tuple[int, str], Cover] = {}
+    ack_gates = 0
+    unack: list[str] = []
+
+    for a in sg.non_inputs:
+        sig = sg.signals[a]
+        sr = signal_regions(sg, a)
+        plane_nets: dict[str, str] = {}
+        local_unack: list[str] = []
+        for kind, direction in (("set", 1), ("reset", -1)):
+            cubes: list[Cube] = []
+            for er in sr.excitation:
+                if er.direction != direction:
+                    continue
+                qr = sr.quiescent_after(er)
+                er_codes = {sg.code(s) for s in er.states}
+                qr_codes = {sg.code(s) for s in qr.states}
+                tag = f"{'+' if direction == 1 else '-'}{sig}"
+                try:
+                    # preferred: the cube stays inside the excitation
+                    # region (plus unreachable codes) — its turn-off is
+                    # acknowledged by the output's own firing
+                    cube = _monotonous_cube(
+                        sg, set(er.states), er_codes | unreachable, tag
+                    )
+                except StateSignalsRequiredError:
+                    # the ER's supercube spills into its quiescent
+                    # region: legal for a monotonous cover, but the
+                    # cube's turn-off is no longer acknowledged by the
+                    # output transition — extra completion hardware
+                    cube = _monotonous_cube(
+                        sg, set(er.states), er_codes | qr_codes | unreachable, tag
+                    )
+                    net_ok = f"ackh_{kind}_{sig}_{len(cubes)}"
+                    local_unack.append(net_ok)
+                    unack.append(net_ok)
+                cubes.append(cube)
+            covers[(a, kind)] = Cover(sg.num_signals, 1, cubes)
+
+            # build the plane; the latch input is gated by the output's
+            # own rail (the feedback acknowledgement of the standard-C
+            # architecture — the same role the ack AND plays in N-SHOT)
+            enable = Pin(sig, inverted=(kind == "set"))
+            gate_out = nl.fresh_net(f"{kind}_{sig}_g")
+
+            def cube_pins(cube) -> list[Pin]:
+                pins = []
+                for var in cube.fixed_vars():
+                    positive = cube.literal(var) == 0b10
+                    pins.append(Pin(sg.signals[var], inverted=not positive))
+                return pins
+
+            if not cubes:
+                nl.add(
+                    Gate(
+                        f"const0_{kind}_{sig}",
+                        GateType.CONST,
+                        [],
+                        gate_out,
+                        attrs={"value": 0},
+                    )
+                )
+            else:
+                cube_nets: list[str] = []
+                for k, cube in enumerate(cubes):
+                    pins = cube_pins(cube)
+                    if len(pins) == 1 and not pins[0].inverted:
+                        cube_nets.append(pins[0].net)
+                        continue
+                    net = nl.fresh_net(f"p_{kind}_{sig}_")
+                    build_gate_tree(
+                        nl, GateType.AND, pins, net, f"and_{kind}_{sig}{k}"
+                    )
+                    cube_nets.append(net)
+                if len(cube_nets) == 1:
+                    plane = cube_nets[0]
+                else:
+                    plane = nl.fresh_net(f"{kind}_{sig}_or")
+                    build_gate_tree(
+                        nl,
+                        GateType.OR,
+                        [Pin(c) for c in cube_nets],
+                        plane,
+                        f"or_{kind}_{sig}",
+                    )
+                nl.add(
+                    Gate(
+                        f"ack_{kind}_{sig}",
+                        GateType.AND,
+                        [Pin(plane), enable],
+                        gate_out,
+                    )
+                )
+            plane_nets[kind] = gate_out
+
+        # extra acknowledgement hardware: one completion gate per
+        # unacknowledged cube (the cubes extending into the quiescent
+        # region whose turn-off the output transition cannot observe)
+        for net_ok in local_unack:
+            dummy_out = nl.fresh_net("ackh")
+            nl.add(
+                Gate(
+                    net_ok,
+                    GateType.AND,
+                    [Pin(plane_nets["set"]), Pin(plane_nets["reset"], inverted=True)],
+                    dummy_out,
+                    attrs={"ack_hardware": True},
+                )
+            )
+            ack_gates += 1
+
+        # storage element: C-element/RS latch per the standard-C scheme
+        nl.add(
+            Gate(
+                f"cel_{sig}",
+                GateType.RSLATCH,
+                [Pin(plane_nets["set"]), Pin(plane_nets["reset"])],
+                sig,
+                output_n=sig + "_n",
+                attrs={"init": sg.value(sg.initial, a)},
+            )
+        )
+    return BeerelResult(
+        sg=sg,
+        netlist=nl,
+        covers=covers,
+        ack_gates_added=ack_gates,
+        unacknowledged_cubes=unack,
+    )

@@ -1,0 +1,159 @@
+"""Hazard-aware two-level synthesis helpers for the baseline flows.
+
+The existing methods the paper compares against must keep their
+combinational logic hazard-free — the very constraint the N-SHOT
+architecture removes.  This module provides the shared machinery:
+
+* :func:`next_state_function` — the classical next-state spec of a
+  non-input signal: ``f_a = 1`` on ``ER(+a) ∪ QR(+a)``
+  (up-excitation: drive toward 1; up-quiescent: hold 1);
+* :func:`static_one_hazard_pairs` — SG arcs along which the function
+  holds 1 while an input changes; each pair must be covered by a
+  single cube or the AND-OR plane can emit a 1-0-1 glitch;
+* :func:`add_hazard_cover_cubes` — the classical fix: add consensus
+  cubes so every such transition pair is single-cube covered (the
+  hazard-free-cover condition of Eggan/Unger/Nowick, as used by
+  Lavagno's bounded-delay flow);
+* :func:`function_hazard_states` — states where ≥2 concurrently
+  enabled transitions both affect the function: a *function* hazard no
+  combinational fix can remove — the bounded-delay flow masks these
+  with delay padding instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic import Cover, Cube
+from ..logic.espresso import expand as espresso_expand
+from ..sg.encoding import states_to_cover, unreachable_cover
+from ..sg.graph import StateGraph, StateId
+from ..sg.regions import signal_regions
+
+__all__ = [
+    "NextStateSpec",
+    "next_state_function",
+    "static_one_hazard_pairs",
+    "add_hazard_cover_cubes",
+    "function_hazard_states",
+]
+
+
+@dataclass
+class NextStateSpec:
+    """(F, D, R) of one signal's next-state function (single output)."""
+
+    signal: int
+    on: Cover
+    dc: Cover
+    off: Cover
+    on_states: set[StateId]
+    off_states: set[StateId]
+
+
+def next_state_function(sg: StateGraph, signal: int) -> NextStateSpec:
+    """The classical next-state spec of a non-input signal.
+
+    ``f = 1`` where the signal is 1-and-stable or excited toward 1
+    (``ER(+a) ∪ QR(+a)``); ``f = 0`` on ``ER(-a) ∪ QR(-a)``;
+    unreachable codes are don't care.
+    """
+    sr = signal_regions(sg, signal)
+    on_states = sr.union_states("ER", 1) | sr.union_states("QR", 1)
+    off_states = sr.union_states("ER", -1) | sr.union_states("QR", -1)
+    n = sg.num_signals
+    return NextStateSpec(
+        signal=signal,
+        on=states_to_cover(sg, on_states),
+        dc=unreachable_cover(sg),
+        off=states_to_cover(sg, off_states),
+        on_states=on_states,
+        off_states=off_states,
+    )
+
+
+def static_one_hazard_pairs(
+    sg: StateGraph, spec: NextStateSpec
+) -> list[tuple[StateId, StateId]]:
+    """SG arcs where the function stays 1 while another signal flips.
+
+    In a two-level AND-OR plane a single-variable change between two
+    ON minterms glitches unless one cube covers both (static-1 hazard).
+    0-1-0 static hazards do not occur in AND-OR SOP with input
+    inversions (the paper makes the same observation in Section IV-A).
+    """
+    out = []
+    for s in spec.on_states:
+        for t, d in sg.successors(s):
+            if t.signal == spec.signal:
+                continue
+            if d in spec.on_states:
+                out.append((s, d))
+    return out
+
+
+def add_hazard_cover_cubes(
+    sg: StateGraph, spec: NextStateSpec, cover: Cover
+) -> tuple[Cover, int]:
+    """Make a cover hazard-free for all static-1 transition pairs.
+
+    For every required pair not covered by a single cube, the pair's
+    supercube (always inside the ON-set, hence never touching R) is
+    expanded to a prime and added.  Returns the repaired cover and the
+    number of cubes added — the area overhead that hazard-freedom
+    costs the baseline flows.
+    """
+    added = 0
+    work = cover.copy()
+    for s, d in static_one_hazard_pairs(sg, spec):
+        cs = Cube.from_minterm(sg.code(s), sg.num_signals)
+        cd = Cube.from_minterm(sg.code(d), sg.num_signals)
+        pair = cs.supercube(cd)
+        if any(c.contains(pair) for c in work.cubes):
+            continue
+        prime = espresso_expand(
+            Cover(sg.num_signals, 1, [pair]), spec.off
+        ).cubes[0]
+        work.add(prime)
+        added += 1
+    if added:
+        work = work.single_cube_containment()
+    return work, added
+
+
+def function_hazard_states(sg: StateGraph, spec: NextStateSpec) -> list[StateId]:
+    """States exposing a function hazard of the next-state function.
+
+    A state where two concurrently enabled transitions (neither being
+    the signal's own) lead through a diamond whose corners give the
+    function a non-monotonic course: combinational logic cannot be
+    glitch-free across it, whatever the cover.  The bounded-delay flow
+    must mask such hazards with delay lines.
+    """
+    out: list[StateId] = []
+
+    def f(state: StateId) -> int | None:
+        if state in spec.on_states:
+            return 1
+        if state in spec.off_states:
+            return 0
+        return None
+
+    for s in sg.states():
+        enabled = [t for t in sg.enabled(s) if t.signal != spec.signal]
+        exposed = False
+        for i in range(len(enabled)):
+            for j in range(i + 1, len(enabled)):
+                t1, t2 = enabled[i], enabled[j]
+                s1, s2 = sg.succ(s, t1), sg.succ(s, t2)
+                s12 = sg.succ(s1, t2) if s1 is not None else None
+                corners = [f(x) for x in (s, s1, s2, s12) if x is not None]
+                vals = [v for v in corners if v is not None]
+                if len(set(vals)) > 1:
+                    # the function changes across a multi-input change:
+                    # under the bounded-delay model the AND-OR plane can
+                    # glitch during the transition however it is covered
+                    exposed = True
+        if exposed:
+            out.append(s)
+    return out

@@ -1,0 +1,162 @@
+"""SIS/Lavagno-style bounded-delay baseline flow ([5] in the paper).
+
+Algorithmic model of the flow Table 2's ``SIS`` column came from:
+
+1. **Restricted to distributive SGs** — non-distributive inputs are
+   rejected with the paper's failure code ``(1)``.
+2. Each non-input signal is implemented as a *combinational* next-state
+   function with feedback (no storage element — the function covers
+   ``ER(+a) ∪ QR(+a)`` and includes the signal's own literal where
+   the cover needs it), minimized by ESPRESSO.
+3. The cover is then made **hazard-free**: every static-1 transition
+   pair gets a single-cube cover (extra consensus cubes → area).
+4. Remaining *function* hazards (multi-signal concurrency across the
+   function) cannot be fixed combinationally; the bounded-delay method
+   masks them by **inserting delay lines** into the feedback path —
+   the delay padding that "lengthen[s] the critical path" in the
+   paper's discussion of Table 2.
+
+The result mirrors the observed shape: competitive or smaller area on
+simple sequential circuits (no latch cells at all), but slower on
+concurrent circuits because of the inserted delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import Cover, minimize
+from ..netlist import Gate, GateType, Netlist, Pin
+from ..netlist.trees import build_gate_tree
+from ..sg.distributivity import is_distributive
+from ..sg.graph import StateGraph
+from ..sg.properties import validate_for_synthesis
+from .hazard_free_sop import (
+    add_hazard_cover_cubes,
+    function_hazard_states,
+    next_state_function,
+)
+
+__all__ = ["LavagnoResult", "NotDistributiveError", "synthesize_lavagno"]
+
+
+class NotDistributiveError(ValueError):
+    """Table 2 failure code (1): the flow handles only distributive SGs."""
+
+
+@dataclass
+class LavagnoResult:
+    """Outcome of the SIS-style flow."""
+
+    sg: StateGraph
+    netlist: Netlist
+    covers: dict[int, Cover]
+    hazard_cubes_added: int
+    delay_lines_inserted: int
+    padded_signals: list[str] = field(default_factory=list)
+
+    def stats(self):
+        return self.netlist.stats()
+
+
+def synthesize_lavagno(
+    sg: StateGraph,
+    name: str = "sis",
+    method: str = "espresso",
+    pad_levels: int = 3,
+    validate: bool = True,
+) -> LavagnoResult:
+    """Run the bounded-delay hazard-free flow on a distributive SG.
+
+    ``pad_levels`` sizes each inserted delay line in gate levels (the
+    bounded-delay analysis would compute this from the longest
+    combinational path; two levels — one AND, one OR — is the plane
+    depth being masked plus margin).
+    """
+    if validate:
+        rep = validate_for_synthesis(sg)
+        if not rep.ok:
+            raise ValueError(rep.summary())
+    if not is_distributive(sg):
+        raise NotDistributiveError(
+            "(1) non-distributive SG: SIS/Lavagno flow not applicable"
+        )
+
+    nl = Netlist(name)
+    for i in sorted(sg.inputs):
+        nl.add_input(sg.signals[i])
+    for a in sg.non_inputs:
+        nl.add_output(sg.signals[a])
+
+    covers: dict[int, Cover] = {}
+    hazard_added = 0
+    delay_lines = 0
+    padded: list[str] = []
+
+    for a in sg.non_inputs:
+        spec = next_state_function(sg, a)
+        cover = minimize(spec.on, spec.dc, spec.off, method=method)
+        cover, added = add_hazard_cover_cubes(sg, spec, cover)
+        hazard_added += added
+        covers[a] = cover
+        sig = sg.signals[a]
+
+        # literal pins: the function may read its own output (feedback)
+        def pins_of(cube) -> list[Pin]:
+            pins = []
+            for var in cube.fixed_vars():
+                positive = cube.literal(var) == 0b10
+                pins.append(Pin(sg.signals[var], inverted=not positive))
+            return pins
+
+        cube_nets = []
+        for k, cube in enumerate(cover.cubes):
+            pins = pins_of(cube)
+            if len(pins) == 1 and not pins[0].inverted:
+                cube_nets.append(pins[0].net)
+                continue
+            net = nl.fresh_net(f"p_{sig}_")
+            build_gate_tree(nl, GateType.AND, pins, net, f"and_{sig}{k}")
+            cube_nets.append(net)
+        plane = nl.fresh_net(f"f_{sig}_")
+        if len(cube_nets) == 1:
+            nl.add(Gate(f"buf_{sig}", GateType.BUF, [Pin(cube_nets[0])], plane))
+        else:
+            build_gate_tree(
+                nl, GateType.OR, [Pin(c) for c in cube_nets], plane, f"or_{sig}"
+            )
+
+        exposed = function_hazard_states(sg, spec)
+        if exposed:
+            # mask function hazards with a delay line in the output path
+            delay_lines += 1
+            padded.append(sig)
+            nl.add(
+                Gate(
+                    f"pad_{sig}",
+                    GateType.DELAY,
+                    [Pin(plane)],
+                    sig,
+                    delay=pad_levels * 1.2,
+                    attrs={"cut": True},
+                )
+            )
+        else:
+            nl.add(
+                Gate(
+                    f"out_{sig}",
+                    GateType.BUF,
+                    [Pin(plane)],
+                    sig,
+                    attrs={"cut": True},
+                )
+            )
+
+    return LavagnoResult(
+        sg=sg,
+        netlist=nl,
+        covers=covers,
+        hazard_cubes_added=hazard_added,
+        delay_lines_inserted=delay_lines,
+        padded_signals=padded,
+    )

@@ -1,0 +1,20 @@
+"""Benchmark suite and Table 2 regeneration machinery."""
+
+from .circuits import (
+    DISTRIBUTIVE_BENCHMARKS,
+    NONDISTRIBUTIVE_BENCHMARKS,
+    build_distributive,
+    build_nondistributive,
+)
+from .runner import BenchmarkRow, run_benchmark, run_table2, sg_of
+
+__all__ = [
+    "DISTRIBUTIVE_BENCHMARKS",
+    "NONDISTRIBUTIVE_BENCHMARKS",
+    "build_distributive",
+    "build_nondistributive",
+    "BenchmarkRow",
+    "run_benchmark",
+    "run_table2",
+    "sg_of",
+]

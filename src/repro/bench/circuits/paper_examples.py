@@ -1,0 +1,168 @@
+"""The example SGs that appear as figures in the paper.
+
+* :func:`figure1_sg` — the Figure 1 example: inputs ``a``/``b``,
+  output ``c`` with OR-causality on *both* edges, making both
+  ``0*0*0`` and ``1*1*1`` detonant w.r.t. ``c`` (non-distributive).
+  As printed in the paper this SG illustrates regions and detonance;
+  it does **not** satisfy CSC (the rising- and falling-phase states
+  share codes), which is fine for its illustrative role and makes it
+  the natural test vector for the CSC diagnostics.
+* :func:`figure1_csc_sg` — the synthesizable variant used by the
+  quickstart: OR-causality on the rising edge only (still
+  non-distributive, detonant at ``0*0*0``) with AND-causality on the
+  falling edge, which restores CSC.
+* :func:`figure2_sg` — an excitation region with internal branching
+  whose trigger region is a proper subset (Figure 2's illustration).
+* :func:`figure7a_sg` / :func:`figure7b_sg` — the single-traversal and
+  non-single-traversal examples; 7b contains a free-running input
+  toggling inside an excitation region, so the trigger region has two
+  states (and still satisfies the trigger requirement, as the paper
+  notes).
+"""
+
+from __future__ import annotations
+
+from ...sg.builder import SGBuilder
+from ...sg.graph import StateGraph
+
+__all__ = [
+    "figure1_sg",
+    "figure1_csc_sg",
+    "figure2_sg",
+    "figure7a_sg",
+    "figure7b_sg",
+]
+
+
+def figure1_sg() -> StateGraph:
+    """Figure 1: OR-causality on both edges of ``c`` (no CSC).
+
+    Signals ``(a, b, c)``; ``a``/``b`` are concurrent inputs.  ``c``
+    rises as soon as either input has risen and falls as soon as either
+    has fallen.  Both ``0*0*0`` and ``1*1*1`` are detonant w.r.t.
+    ``c``.  Rising-phase and falling-phase states share binary codes
+    (e.g. ``011``), so the SG violates CSC — it exists to exercise the
+    region/detonance machinery and the CSC diagnostics.
+    """
+    b = SGBuilder(["a", "b", "c"], ["a", "b"])
+    # rising phase (suffix /r distinguishes phases sharing codes)
+    b.arc("000/r", "+a", "100/r")
+    b.arc("000/r", "+b", "010/r")
+    b.arc("100/r", "+b", "110/r")
+    b.arc("100/r", "+c", "101/r")
+    b.arc("010/r", "+a", "110/r")
+    b.arc("010/r", "+c", "011/r")
+    b.arc("110/r", "+c", "111/r")
+    b.arc("101/r", "+b", "111/r")
+    b.arc("011/r", "+a", "111/r")
+    # falling phase: c falls once either input has fallen
+    b.arc("111/r", "-a", "011/f")
+    b.arc("111/r", "-b", "101/f")
+    b.arc("011/f", "-b", "001/f")
+    b.arc("011/f", "-c", "010/f")
+    b.arc("101/f", "-a", "001/f")
+    b.arc("101/f", "-c", "100/f")
+    b.arc("001/f", "-c", "000/r")
+    b.arc("010/f", "-b", "000/r")
+    b.arc("100/f", "-a", "000/r")
+    b.initial("000/r")
+    return b.build()
+
+
+def figure1_csc_sg() -> StateGraph:
+    """Synthesizable Figure 1 variant: OR-rise, AND-fall (CSC holds).
+
+    Still non-distributive — state ``0*0*0`` is detonant w.r.t. ``c``
+    — but the falling edge waits for both inputs, which removes the
+    code sharing and restores CSC.  Used by the quickstart example and
+    the non-distributive synthesis tests.
+    """
+    b = SGBuilder(["a", "b", "c"], ["a", "b"])
+    b.arc("000", "+a", "100")
+    b.arc("000", "+b", "010")
+    b.arc("100", "+b", "110")
+    b.arc("100", "+c", "101")
+    b.arc("010", "+a", "110")
+    b.arc("010", "+c", "011")
+    b.arc("110", "+c", "111")
+    b.arc("101", "+b", "111")
+    b.arc("011", "+a", "111")
+    b.arc("111", "-a", "011/f")
+    b.arc("111", "-b", "101/f")
+    b.arc("011/f", "-b", "001")
+    b.arc("101/f", "-a", "001")
+    b.arc("001", "-c", "000")
+    b.initial("000")
+    return b.build()
+
+
+def figure2_sg() -> StateGraph:
+    """Figure 2: an ER with internal branching and a proper trigger region.
+
+    Output ``x`` becomes excited as soon as input ``p`` rises, while a
+    second input ``q`` may still toggle inside the excitation region;
+    the trigger region is the sub-region the system cannot leave except
+    by firing ``+x`` — here the single state where ``q`` has settled.
+
+    Signals ``(p, q, x)``.
+    """
+    b = SGBuilder(["p", "q", "x"], ["p", "q"])
+    # p+ opens ER(+x); q rises concurrently inside the region
+    b.arc("000", "+p", "100")      # ER(+x) entered: x excited from here on
+    b.arc("100", "+q", "110")      # still inside ER(+x)
+    b.arc("100", "+x", "101")      # x may fire early …
+    b.arc("110", "+x", "111")      # … or from the trigger state 110
+    b.arc("101", "+q", "111")
+    # return cycle
+    b.arc("111", "-p", "011")
+    b.arc("011", "-x", "010")
+    b.arc("010", "-q", "000")
+    b.initial("000")
+    return b.build()
+
+
+def figure7a_sg() -> StateGraph:
+    """Figure 7(a): a single-traversal SG (all trigger regions singletons).
+
+    A plain four-phase handshake ``+r → +y → -r → -y`` — each
+    excitation region of ``y`` is one state.
+    """
+    b = SGBuilder(["r", "y"], ["r"])
+    b.arc("00", "+r", "10")
+    b.arc("10", "+y", "11")
+    b.arc("11", "-r", "01")
+    b.arc("01", "-y", "00")
+    b.initial("00")
+    return b.build()
+
+
+def figure7b_sg() -> StateGraph:
+    """Figure 7(b): non-single-traversal via a free-running input.
+
+    Input ``clk`` toggles freely; output ``y`` answers request ``r``.
+    While ``y`` is excited the clock keeps toggling, so each excitation
+    region's trigger region contains both clock phases (two states) —
+    yet a single cube independent of ``clk`` covers it, so the trigger
+    requirement holds, exactly as the paper observes for its Figure
+    7(b).
+
+    Signals ``(r, clk, y)``.
+    """
+    b = SGBuilder(["r", "clk", "y"], ["r", "clk"])
+    for c in "01":
+        clk = int(c)
+        flip = "0" if clk else "1"
+        # idle: r=0, y=0 — clock toggles, +r may fire
+        b.arc(f"0{c}0", f"{'-' if clk else '+'}clk", f"0{flip}0")
+        b.arc(f"0{c}0", "+r", f"1{c}0")
+        # ER(+y): r=1, y=0 — clock still toggles: TR = {110,100}
+        b.arc(f"1{c}0", f"{'-' if clk else '+'}clk", f"1{flip}0")
+        b.arc(f"1{c}0", "+y", f"1{c}1")
+        # served: r=1, y=1 — clock toggles, -r may fire
+        b.arc(f"1{c}1", f"{'-' if clk else '+'}clk", f"1{flip}1")
+        b.arc(f"1{c}1", "-r", f"0{c}1")
+        # ER(-y): r=0, y=1
+        b.arc(f"0{c}1", f"{'-' if clk else '+'}clk", f"0{flip}1")
+        b.arc(f"0{c}1", "-y", f"0{c}0")
+    b.initial("000")
+    return b.build()

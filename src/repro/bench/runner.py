@@ -1,0 +1,111 @@
+"""Three-flow benchmark runner: regenerates Table 2.
+
+For every benchmark the runner elaborates the reconstruction, runs the
+SIS/Lavagno, SYN/Beerel and ASSASSIN/N-SHOT flows, and collects
+area/delay (or the paper's failure codes ``(1)``/``(2)`` when a flow
+rejects the circuit).  The Equation (1) evaluation per signal feeds
+the "delay compensation never required" check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..baselines import (
+    NotDistributiveError,
+    StateSignalsRequiredError,
+    synthesize_beerel,
+    synthesize_lavagno,
+)
+from ..core import synthesize
+from ..sg.graph import StateGraph
+from ..stg import elaborate
+from .circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
+
+__all__ = ["BenchmarkRow", "run_benchmark", "run_table2", "sg_of"]
+
+
+@dataclass
+class BenchmarkRow:
+    """One Table 2 row of the reproduction."""
+
+    name: str
+    states: int
+    paper_states: int
+    sis: str
+    syn: str
+    assassin: str
+    paper_sis: str = ""
+    paper_syn: str = ""
+    paper_assassin: str = ""
+    compensation_required: bool = False
+    seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def cells(self) -> tuple[str, int, str, str, str]:
+        return (self.name, self.states, self.sis, self.syn, self.assassin)
+
+
+def sg_of(name: str) -> StateGraph:
+    """Elaborated state graph of a named benchmark (either part)."""
+    if name in DISTRIBUTIVE_BENCHMARKS:
+        return elaborate(DISTRIBUTIVE_BENCHMARKS[name][0]())
+    sg = NONDISTRIBUTIVE_BENCHMARKS[name][0]()
+    return sg
+
+
+def run_benchmark(name: str, run_baselines: bool = True) -> BenchmarkRow:
+    """Run all flows on one benchmark and return its table row."""
+    t0 = time.time()
+    if name in DISTRIBUTIVE_BENCHMARKS:
+        _, paper_states, (p_sis, p_syn, p_ours) = DISTRIBUTIVE_BENCHMARKS[name]
+    else:
+        _, paper_states, p_ours = NONDISTRIBUTIVE_BENCHMARKS[name]
+        p_sis = p_syn = "(1)"
+    sg = sg_of(name)
+
+    sis_cell = syn_cell = "-"
+    extras: dict = {}
+    if run_baselines:
+        try:
+            sis = synthesize_lavagno(sg, name=f"sis_{name}")
+            sis_cell = sis.stats().row()
+            extras["sis_delay_lines"] = sis.delay_lines_inserted
+            extras["sis_hazard_cubes"] = sis.hazard_cubes_added
+        except NotDistributiveError:
+            sis_cell = "(1)"
+        try:
+            syn = synthesize_beerel(sg, name=f"syn_{name}")
+            syn_cell = syn.stats().row()
+            extras["syn_ack_gates"] = syn.ack_gates_added
+        except NotDistributiveError:
+            syn_cell = "(1)"
+        except StateSignalsRequiredError:
+            syn_cell = "(2)"
+
+    ours = synthesize(sg, name=name)
+    row = BenchmarkRow(
+        name=name,
+        states=sg.num_states,
+        paper_states=paper_states,
+        sis=sis_cell,
+        syn=syn_cell,
+        assassin=ours.stats().row(),
+        paper_sis=p_sis,
+        paper_syn=p_syn,
+        paper_assassin=p_ours,
+        compensation_required=ours.compensation_required,
+        seconds=time.time() - t0,
+        extras=extras,
+    )
+    return row
+
+
+def run_table2(
+    names: list[str] | None = None, run_baselines: bool = True
+) -> list[BenchmarkRow]:
+    """Regenerate Table 2 (both parts, or a subset of rows)."""
+    if names is None:
+        names = list(DISTRIBUTIVE_BENCHMARKS) + list(NONDISTRIBUTIVE_BENCHMARKS)
+    return [run_benchmark(n, run_baselines=run_baselines) for n in names]

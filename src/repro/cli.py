@@ -1,0 +1,206 @@
+"""Command-line interface: the ASSASSIN-style flow as a tool.
+
+Mirrors how the paper's compiler was driven::
+
+    python -m repro info ctrl.g                 # properties + regions
+    python -m repro synth ctrl.g -o ctrl.v      # N-SHOT synthesis
+    python -m repro synth ctrl.g --verify       # + Monte-Carlo check
+    python -m repro compare ctrl.g              # all flows, one circuit
+    python -m repro table2 [circuit ...]        # regenerate Table 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import (
+    NotDistributiveError,
+    StateSignalsRequiredError,
+    synthesize_beerel,
+    synthesize_lavagno,
+    synthesize_qmodule,
+)
+from .core import synthesize, verify_hazard_freeness
+from .core.report import format_results_table
+from .logic import write_pla
+from .sg import (
+    is_distributive,
+    is_single_traversal,
+    non_distributive_signals,
+    signal_regions,
+    validate_for_synthesis,
+)
+from .stg import elaborate, parse_g
+
+__all__ = ["main"]
+
+
+def _load_sg(path: str):
+    """Load a specification: ``.sg`` state graphs or ``.g`` STGs."""
+    with open(path) as f:
+        text = f.read()
+    if path.endswith(".sg") or ".state graph" in text:
+        from .sg import parse_sg
+
+        sg = parse_sg(text)
+        return _SgSpec(path, sg), sg
+    stg = parse_g(text)
+    return stg, elaborate(stg)
+
+
+class _SgSpec:
+    """Adapter so .sg files share the STG code paths in the CLI."""
+
+    def __init__(self, path: str, sg) -> None:
+        import os
+
+        self.name = os.path.splitext(os.path.basename(path))[0]
+        self._sg = sg
+
+    def describe(self) -> str:
+        return self._sg.describe()
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    stg, sg = _load_sg(args.file)
+    print(stg.describe())
+    print()
+    if not isinstance(stg, _SgSpec):
+        from .stg import classify
+
+        print(classify(stg).summary())
+    print(f"state graph: {sg.num_states} states")
+    report = validate_for_synthesis(sg)
+    print(report.summary())
+    print(f"distributive: {is_distributive(sg)}", end="")
+    nd = non_distributive_signals(sg)
+    if nd:
+        print(f" (detonant signals: {', '.join(sg.signals[a] for a in nd)})")
+    else:
+        print()
+    print(f"single traversal: {is_single_traversal(sg)}")
+    for a in sg.non_inputs:
+        sr = signal_regions(sg, a)
+        parts = ", ".join(
+            f"{er.label(sg)}:{len(er.states)}" for er in sr.excitation
+        )
+        print(f"  {sg.signals[a]}: {parts}")
+    return 0 if report.ok else 1
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    stg, sg = _load_sg(args.file)
+    circuit = synthesize(
+        sg,
+        name=stg.name,
+        method=args.method,
+        delay_spread=args.spread,
+    )
+    print(circuit.describe())
+    if args.pla:
+        spec = circuit.spec
+        names = [spec.output_name(o) for o in range(spec.num_outputs)]
+        with open(args.pla, "w") as f:
+            f.write(write_pla(circuit.cover, input_names=sg.signals, output_names=names))
+        print(f"wrote {args.pla}")
+    if args.output:
+        from .netlist import write_verilog
+
+        with open(args.output, "w") as f:
+            f.write(write_verilog(circuit.netlist))
+        print(f"wrote {args.output}")
+    if args.verify:
+        summary = verify_hazard_freeness(circuit, runs=args.runs)
+        print(summary.summary())
+        return 0 if summary.ok else 2
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    stg, sg = _load_sg(args.file)
+    rows = []
+    for label, flow in (
+        ("SIS/Lavagno", synthesize_lavagno),
+        ("SYN/Beerel", synthesize_beerel),
+        ("Q-module", synthesize_qmodule),
+    ):
+        try:
+            rows.append((label, flow(sg).stats().row()))
+        except NotDistributiveError:
+            rows.append((label, "(1) non-distributive"))
+        except StateSignalsRequiredError:
+            rows.append((label, "(2) state signals required"))
+    rows.append(("N-SHOT", synthesize(sg, name=stg.name).stats().row()))
+    width = max(len(r[0]) for r in rows)
+    for label, cell in rows:
+        print(f"{label:<{width}}  {cell}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .bench import run_table2
+
+    rows = run_table2(args.circuits or None)
+    print(format_results_table([r.cells() for r in rows]))
+    comp = [r.name for r in rows if r.compensation_required]
+    print()
+    print(
+        "delay compensation required: "
+        + (", ".join(comp) if comp else "never (paper's Section V claim)")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="N-SHOT asynchronous synthesis (DAC'95 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="analyze an STG file")
+    p_info.add_argument("file", help=".g STG file")
+    p_info.set_defaults(func=cmd_info)
+
+    p_synth = sub.add_parser("synth", help="synthesize an STG into N-SHOT")
+    p_synth.add_argument("file", help=".g STG file")
+    p_synth.add_argument("-o", "--output", help="write structural Verilog here")
+    p_synth.add_argument("--pla", help="write the minimized cover as PLA text")
+    p_synth.add_argument(
+        "--method", choices=["espresso", "exact"], default="espresso"
+    )
+    p_synth.add_argument(
+        "--spread",
+        type=float,
+        default=0.0,
+        help="assumed relative gate-delay uncertainty for Equation (1)",
+    )
+    p_synth.add_argument(
+        "--verify", action="store_true", help="run Monte-Carlo verification"
+    )
+    p_synth.add_argument("--runs", type=int, default=5)
+    p_synth.set_defaults(func=cmd_synth)
+
+    p_cmp = sub.add_parser("compare", help="run every flow on one STG")
+    p_cmp.add_argument("file", help=".g STG file")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_t2 = sub.add_parser("table2", help="regenerate Table 2")
+    p_t2.add_argument("circuits", nargs="*", help="subset of benchmark names")
+    p_t2.set_defaults(func=cmd_table2)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The N-SHOT architecture synthesis flow (the paper's contribution).
+
+``synthesize()`` turns a validated state graph into an externally
+hazard-free gate-level circuit: region-derived set/reset SOPs minimized
+without hazard constraints, trigger-cube enforcement (Theorem 1), the
+Equation (1) delay requirement, the Figure 3 architecture with MHS
+flip-flops, and Section IV-F initialization analysis.
+``verify_hazard_freeness()`` closes the loop in simulation.
+"""
+
+from .sop_derivation import (
+    FunctionSpec,
+    SopSpec,
+    derive_sop_spec,
+    region_mode_table,
+    ModeRow,
+)
+from .trigger import (
+    TriggerCheck,
+    check_trigger_cubes,
+    enforce_trigger_cubes,
+    TriggerRequirementError,
+)
+from .delays import PlaneTiming, DelayRequirement, compute_delay_requirement
+from .architecture import ArchitectureResult, build_nshot_netlist
+from .initialization import InitDecision, analyze_initialization
+from .synthesizer import NShotCircuit, SynthesisError, synthesize
+from .verify import VerificationRun, VerificationSummary, verify_hazard_freeness
+from .report import format_mode_table, format_results_table
+
+__all__ = [
+    "FunctionSpec",
+    "SopSpec",
+    "derive_sop_spec",
+    "region_mode_table",
+    "ModeRow",
+    "TriggerCheck",
+    "check_trigger_cubes",
+    "enforce_trigger_cubes",
+    "TriggerRequirementError",
+    "PlaneTiming",
+    "DelayRequirement",
+    "compute_delay_requirement",
+    "ArchitectureResult",
+    "build_nshot_netlist",
+    "InitDecision",
+    "analyze_initialization",
+    "NShotCircuit",
+    "SynthesisError",
+    "synthesize",
+    "VerificationRun",
+    "VerificationSummary",
+    "verify_hazard_freeness",
+    "format_mode_table",
+    "format_results_table",
+]

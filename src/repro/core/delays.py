@@ -1,0 +1,119 @@
+"""Delay requirement — Equation (1) of Section IV-C.
+
+The acknowledgement scheme must guarantee that pulse streams from one
+SOP plane cannot "trespass" into the opposite operation phase: after
+``-a`` fires, the enable-set signal may only open once the set plane
+has fully settled to 0 (and symmetrically).  The required local delay
+compensation is::
+
+    t_del ≥ max( t_set0_w − t_res1_f − t_mhs− ,
+                 t_res0_w − t_set1_f − t_mhs+ )
+
+where ``t_set0_w`` is the worst-case settling propagation of the set
+plane, ``t_res1_f`` the fastest excitation propagation of the reset
+plane, and ``t_mhs±`` the flip-flop response.  The delay line (placed
+in parallel with the planes, off the critical path) is only needed
+when the max is positive; the paper reports it was *never* required on
+any benchmark — a claim the reproduction bench re-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.library import DEFAULT_LIBRARY, Library
+
+__all__ = ["PlaneTiming", "DelayRequirement", "compute_delay_requirement"]
+
+
+@dataclass(frozen=True)
+class PlaneTiming:
+    """Timing levels of one SOP plane (set or reset).
+
+    ``worst_levels`` / ``best_levels`` — number of gate levels on the
+    slowest and fastest input-to-plane-output paths.  A two-level SOP
+    has worst 2 (AND→OR); a single-cube plane 1; a plane degenerated to
+    a wire 0.
+    """
+
+    worst_levels: int
+    best_levels: int
+
+    def worst(self, library: Library = DEFAULT_LIBRARY, spread: float = 0.0) -> float:
+        """Slowest settle time under a ±``spread`` relative delay bound."""
+        return self.worst_levels * library.level_delay * (1.0 + spread)
+
+    def best(self, library: Library = DEFAULT_LIBRARY, spread: float = 0.0) -> float:
+        """Fastest excitation time under the same bound."""
+        return self.best_levels * library.level_delay * (1.0 - spread)
+
+
+@dataclass(frozen=True)
+class DelayRequirement:
+    """Evaluated Equation (1) for one non-input signal."""
+
+    signal_name: str
+    t_set0_w: float
+    t_res1_f: float
+    t_res0_w: float
+    t_set1_f: float
+    t_mhs_minus: float
+    t_mhs_plus: float
+
+    @property
+    def bound(self) -> float:
+        """The right-hand side of Equation (1)."""
+        return max(
+            self.t_set0_w - self.t_res1_f - self.t_mhs_minus,
+            self.t_res0_w - self.t_set1_f - self.t_mhs_plus,
+        )
+
+    @property
+    def t_del(self) -> float:
+        """Required delay-line value (0 when no compensation needed)."""
+        return max(0.0, self.bound)
+
+    @property
+    def compensation_required(self) -> bool:
+        return self.bound > 1e-9
+
+    def describe(self) -> str:
+        state = (
+            f"t_del = {self.t_del:.2f} ns"
+            if self.compensation_required
+            else "no compensation required"
+        )
+        return (
+            f"{self.signal_name}: max({self.t_set0_w:.2f} − {self.t_res1_f:.2f} − "
+            f"{self.t_mhs_minus:.2f}, {self.t_res0_w:.2f} − {self.t_set1_f:.2f} − "
+            f"{self.t_mhs_plus:.2f}) = {self.bound:.2f} → {state}"
+        )
+
+
+def compute_delay_requirement(
+    signal_name: str,
+    set_plane: PlaneTiming,
+    reset_plane: PlaneTiming,
+    library: Library = DEFAULT_LIBRARY,
+    mhs_tau: float = 1.2,
+    spread: float = 0.0,
+) -> DelayRequirement:
+    """Evaluate Equation (1) from plane structure and library timing.
+
+    ``spread`` is the assumed relative gate-delay uncertainty (±40% →
+    0.4): worst-case settle paths scale by ``1+spread``, best-case
+    excitation paths by ``1-spread``.  The paper's "delay compensation
+    was never required" observation holds at the nominal bound
+    (``spread = 0``, all gates one level); under loose bounds Equation
+    (1) can go positive for circuits with asymmetric plane depths, and
+    the architecture then inserts the parallel delay line.
+    """
+    return DelayRequirement(
+        signal_name=signal_name,
+        t_set0_w=set_plane.worst(library, spread),
+        t_res1_f=reset_plane.best(library, spread),
+        t_res0_w=reset_plane.worst(library, spread),
+        t_set1_f=set_plane.best(library, spread),
+        t_mhs_minus=mhs_tau,
+        t_mhs_plus=mhs_tau,
+    )

@@ -1,0 +1,170 @@
+"""Deriving set/reset SOP specifications from SG regions.
+
+Implements the five-step procedure of Section IV-A.  For a non-input
+signal ``a``:
+
+* **Set function**: ON-set ``F = ∪ ER(+a_i)``, don't-care set
+  ``D = ∪ QR(+a_i) ∪ unreachable codes``, OFF-set
+  ``R = ∪ ER(-a_i) ∪ ∪ QR(-a_i)``.
+* **Reset function**: the mirror image.
+
+The correspondence with the MHS flip-flop's operation modes is the
+paper's Table 1, reproduced by :func:`region_mode_table`.
+
+All set and reset functions of all non-input signals are packed into a
+single multi-output cover, so the minimizer may share product terms
+between them ("including the sharing of product terms (AND-gates)
+between different functions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import Cover
+from ..sg.encoding import states_to_cover, unreachable_cover
+from ..sg.graph import StateGraph
+from ..sg.regions import SignalRegions, signal_regions
+
+__all__ = [
+    "FunctionSpec",
+    "SopSpec",
+    "derive_sop_spec",
+    "region_mode_table",
+    "ModeRow",
+]
+
+
+@dataclass
+class FunctionSpec:
+    """(F, D, R) triple of one set or reset function (single-output)."""
+
+    signal: int
+    kind: str  # "set" or "reset"
+    on: Cover
+    dc: Cover
+    off: Cover
+
+
+@dataclass
+class SopSpec:
+    """The complete multi-output minimization problem of an SG.
+
+    Output order: ``set(a0), reset(a0), set(a1), reset(a1), …`` over
+    the non-input signals in index order.  ``regions`` keeps the
+    per-signal region decomposition for later trigger-cube checks and
+    initialization analysis.
+    """
+
+    sg: StateGraph
+    on: Cover
+    dc: Cover
+    off: Cover
+    functions: list[FunctionSpec] = field(default_factory=list)
+    regions: dict[int, SignalRegions] = field(default_factory=dict)
+
+    @property
+    def num_outputs(self) -> int:
+        return 2 * len(self.sg.non_inputs)
+
+    def output_index(self, signal: int, kind: str) -> int:
+        """Column of one function in the multi-output cover."""
+        pos = self.sg.non_inputs.index(signal)
+        return 2 * pos + (0 if kind == "set" else 1)
+
+    def output_name(self, index: int) -> str:
+        signal = self.sg.non_inputs[index // 2]
+        kind = "set" if index % 2 == 0 else "reset"
+        return f"{kind}_{self.sg.signals[signal]}"
+
+
+def derive_sop_spec(sg: StateGraph) -> SopSpec:
+    """Build the multi-output (F, D, R) problem for a whole SG.
+
+    Follows Section IV-A exactly; the unreachable binary codes join
+    every function's don't-care set (step 3).
+    """
+    non_inputs = sg.non_inputs
+    m = 2 * len(non_inputs)
+    n = sg.num_signals
+    on = Cover.empty(n, m)
+    dc = Cover.empty(n, m)
+    off = Cover.empty(n, m)
+    spec = SopSpec(sg, on, dc, off)
+
+    unreachable = unreachable_cover(sg)
+
+    for signal in non_inputs:
+        sr = signal_regions(sg, signal)
+        spec.regions[signal] = sr
+        up_er = sr.union_states("ER", 1)
+        up_qr = sr.union_states("QR", 1)
+        dn_er = sr.union_states("ER", -1)
+        dn_qr = sr.union_states("QR", -1)
+
+        for kind, f_states, d_states, r_states in (
+            ("set", up_er, up_qr, dn_er | dn_qr),
+            ("reset", dn_er, dn_qr, up_er | up_qr),
+        ):
+            o = spec.output_index(signal, kind)
+            bit = 1 << o
+            f_cover = states_to_cover(sg, f_states, outputs=1)
+            d_cover = states_to_cover(sg, d_states, outputs=1)
+            r_cover = states_to_cover(sg, r_states, outputs=1)
+            for c in f_cover.cubes:
+                on.add(c.with_outputs(bit))
+            for c in d_cover.cubes:
+                dc.add(c.with_outputs(bit))
+            for c in unreachable.cubes:
+                dc.add(c.with_outputs(bit))
+            for c in r_cover.cubes:
+                off.add(c.with_outputs(bit))
+            spec.functions.append(
+                FunctionSpec(
+                    signal,
+                    kind,
+                    Cover(n, 1, f_cover.cubes),
+                    Cover(n, 1, d_cover.cubes + [c.with_outputs(1) for c in unreachable.cubes]),
+                    Cover(n, 1, r_cover.cubes),
+                )
+            )
+    return spec
+
+
+@dataclass(frozen=True)
+class ModeRow:
+    """One row of the paper's Table 1 for a concrete state."""
+
+    state: object
+    region: str  # "ER(+a)", "QR(+a)", "ER(-a)", "QR(-a)", "unreachable"
+    set_value: str  # "0", "1" or "*"
+    reset_value: str
+    mode: str  # "+a", "a = 1", "-a", "a = 0", "memory"
+
+
+def region_mode_table(sg: StateGraph, signal: int) -> list[ModeRow]:
+    """Reproduce Table 1: region ↔ SET/RESET levels ↔ MHS mode.
+
+    Enumerates every reachable state of the SG, classifies it into the
+    signal's region structure and emits the specified SET/RESET values
+    and the flip-flop operation mode.
+    """
+    name = sg.signals[signal]
+    sr = signal_regions(sg, signal)
+    up_er = sr.union_states("ER", 1)
+    up_qr = sr.union_states("QR", 1)
+    dn_er = sr.union_states("ER", -1)
+    dn_qr = sr.union_states("QR", -1)
+    rows: list[ModeRow] = []
+    for s in sg.states():
+        if s in up_er:
+            rows.append(ModeRow(s, f"ER(+{name})", "1", "0", f"+{name}"))
+        elif s in up_qr:
+            rows.append(ModeRow(s, f"QR(+{name})", "*", "0", f"{name} = 1"))
+        elif s in dn_er:
+            rows.append(ModeRow(s, f"ER(-{name})", "0", "1", f"-{name}"))
+        elif s in dn_qr:
+            rows.append(ModeRow(s, f"QR(-{name})", "0", "*", f"{name} = 0"))
+        else:
+            rows.append(ModeRow(s, "unreachable", "*", "*", "memory"))
+    return rows

@@ -1,0 +1,355 @@
+"""Covers: sets of cubes representing multi-output two-level logic.
+
+A :class:`Cover` is an ordered collection of :class:`~repro.logic.cube.Cube`
+objects sharing the same number of input variables and output
+functions.  It provides the set-algebraic operations that the
+minimization algorithms (tautology, complement, ESPRESSO loop, exact
+covering) are built on.
+
+Multi-output semantics follow ESPRESSO: a cube with output part
+``outputs`` asserts its product term for every output whose bit is
+set.  A cover *covers* a (cube, output) pair when the projection of the
+cover onto that output covers the cube's input part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .cube import LIT_DC, LIT_ONE, LIT_ZERO, Cube, supercube_of
+
+__all__ = ["Cover", "compact_minterm_cover"]
+
+
+@dataclass
+class Cover:
+    """An ordered set of cubes over a common input/output signature."""
+
+    num_inputs: int
+    num_outputs: int = 1
+    cubes: list[Cube] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty(num_inputs: int, num_outputs: int = 1) -> "Cover":
+        """The empty cover (constant 0 for every output)."""
+        return Cover(num_inputs, num_outputs, [])
+
+    @staticmethod
+    def universe(num_inputs: int, num_outputs: int = 1) -> "Cover":
+        """The tautology cover (constant 1 for every output)."""
+        all_out = (1 << num_outputs) - 1
+        return Cover(num_inputs, num_outputs, [Cube.full(num_inputs, all_out)])
+
+    @staticmethod
+    def from_cubes(cubes: Iterable[Cube], num_inputs: int, num_outputs: int = 1) -> "Cover":
+        """Build a cover from an iterable of cubes (shared signature)."""
+        return Cover(num_inputs, num_outputs, list(cubes))
+
+    @staticmethod
+    def from_strings(rows: Iterable[str], num_outputs: int = 1) -> "Cover":
+        """Build a cover from ESPRESSO-style rows.
+
+        Each row is either just an input part (``"1-0"``, single
+        output) or input and output parts separated by whitespace
+        (``"1-0 10"``).
+        """
+        cubes: list[Cube] = []
+        num_inputs = 0
+        for row in rows:
+            parts = row.split()
+            if not parts:
+                continue
+            inp = parts[0]
+            num_inputs = len(inp)
+            if len(parts) > 1:
+                out_bits = 0
+                for o, ch in enumerate(parts[1]):
+                    if ch in "14":
+                        out_bits |= 1 << o
+                cubes.append(Cube.from_string(inp, out_bits))
+            else:
+                cubes.append(Cube.from_string(inp, 1))
+        return Cover(num_inputs, num_outputs, cubes)
+
+    @staticmethod
+    def from_minterms(minterms: Iterable[int], num_inputs: int, outputs: int = 1,
+                      num_outputs: int = 1) -> "Cover":
+        """Build a cover of single-minterm cubes."""
+        cubes = [Cube.from_minterm(m, num_inputs, outputs) for m in minterms]
+        return Cover(num_inputs, num_outputs, cubes)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __getitem__(self, i: int) -> Cube:
+        return self.cubes[i]
+
+    def copy(self) -> "Cover":
+        """Shallow copy (cubes are immutable, so this is sufficient)."""
+        return Cover(self.num_inputs, self.num_outputs, list(self.cubes))
+
+    def add(self, cube: Cube) -> None:
+        """Append a cube to the cover."""
+        self.cubes.append(cube)
+
+    def is_empty(self) -> bool:
+        """True when the cover contains no non-empty cube."""
+        return all(c.is_empty() for c in self.cubes)
+
+    # ------------------------------------------------------------------
+    # cost metrics
+    # ------------------------------------------------------------------
+    def num_literals(self) -> int:
+        """Total number of input literals over all cubes."""
+        return sum(c.num_literals() for c in self.cubes)
+
+    def cost(self) -> tuple[int, int]:
+        """Minimization cost: (number of cubes, number of literals)."""
+        return (len(self.cubes), self.num_literals())
+
+    # ------------------------------------------------------------------
+    # projections and simple rewrites
+    # ------------------------------------------------------------------
+    def projection(self, output: int) -> "Cover":
+        """Single-output projection: cubes feeding ``output``."""
+        bit = 1 << output
+        cubes = [c.with_outputs(1) for c in self.cubes if c.outputs & bit]
+        return Cover(self.num_inputs, 1, cubes)
+
+    def restrict_outputs(self, mask: int) -> "Cover":
+        """Keep only the output-part bits in ``mask``; drop empty cubes."""
+        cubes = []
+        for c in self.cubes:
+            o = c.outputs & mask
+            if o:
+                cubes.append(c.with_outputs(o))
+        return Cover(self.num_inputs, self.num_outputs, cubes)
+
+    def drop_empty(self) -> "Cover":
+        """Remove empty cubes."""
+        return Cover(
+            self.num_inputs, self.num_outputs, [c for c in self.cubes if not c.is_empty()]
+        )
+
+    def single_cube_containment(self) -> "Cover":
+        """Remove cubes contained in another single cube of the cover.
+
+        This is the cheap ``sccc`` cleanup pass of ESPRESSO, not the
+        full irredundant computation.
+        """
+        kept: list[Cube] = []
+        # Sort by decreasing size so that big cubes absorb small ones.
+        order = sorted(self.cubes, key=lambda c: (-len(c.free_vars()), -c.outputs.bit_count()))
+        for c in order:
+            if c.is_empty():
+                continue
+            container = None
+            for k in kept:
+                if k.contains(c):
+                    container = k
+                    break
+            if container is None:
+                # c may still be partially absorbed on the output part
+                kept.append(c)
+        return Cover(self.num_inputs, self.num_outputs, kept)
+
+    # ------------------------------------------------------------------
+    # semantic queries
+    # ------------------------------------------------------------------
+    def evaluate(self, minterm: int) -> int:
+        """Output bitmask produced by the cover for an input minterm."""
+        result = 0
+        for c in self.cubes:
+            if c.contains_minterm(minterm):
+                result |= c.outputs
+        return result
+
+    def contains_minterm(self, minterm: int, output: int = 0) -> bool:
+        """True when some cube feeding ``output`` covers the minterm."""
+        bit = 1 << output
+        return any(
+            (c.outputs & bit) and c.contains_minterm(minterm) for c in self.cubes
+        )
+
+    def cofactor(self, cube: Cube) -> "Cover":
+        """Input-part cofactor of the whole cover w.r.t. ``cube``.
+
+        Only cubes whose input parts intersect ``cube`` survive.  The
+        output parts are preserved; callers project per output when
+        multi-output semantics are needed.
+        """
+        out = []
+        for c in self.cubes:
+            cf = c.cofactor(cube)
+            if cf is not None:
+                out.append(cf)
+        return Cover(self.num_inputs, self.num_outputs, out)
+
+    def intersect_cube(self, cube: Cube) -> "Cover":
+        """Cover of the intersections of every cube with ``cube``."""
+        out = []
+        for c in self.cubes:
+            i = c.intersect(cube)
+            if i is not None:
+                out.append(i)
+        return Cover(self.num_inputs, self.num_outputs, out)
+
+    def intersects_cube(self, cube: Cube) -> bool:
+        """True when any cube of the cover intersects ``cube``."""
+        return any(c.intersects(cube) for c in self.cubes)
+
+    def supercube(self) -> Cube | None:
+        """Smallest cube containing the whole cover (``None`` if empty)."""
+        return supercube_of(self.cubes)
+
+    def minterms(self, output: int = 0) -> set[int]:
+        """Explicit minterm set of one output (exponential; small covers)."""
+        bit = 1 << output
+        out: set[int] = set()
+        for c in self.cubes:
+            if c.outputs & bit:
+                out.update(c.minterms())
+        return out
+
+    # ------------------------------------------------------------------
+    # unateness
+    # ------------------------------------------------------------------
+    def var_usage(self, var: int) -> tuple[int, int]:
+        """Count (negative, positive) literal occurrences of variable."""
+        neg = pos = 0
+        for c in self.cubes:
+            f = c.literal(var)
+            if f == 0b01:
+                neg += 1
+            elif f == 0b10:
+                pos += 1
+        return neg, pos
+
+    def is_unate_in(self, var: int) -> bool:
+        """True when the cover is unate in the given variable."""
+        neg, pos = self.var_usage(var)
+        return neg == 0 or pos == 0
+
+    def is_unate(self) -> bool:
+        """True when the cover is unate in every input variable."""
+        return all(self.is_unate_in(v) for v in range(self.num_inputs))
+
+    def most_binate_var(self) -> int | None:
+        """Select the best splitting variable for unate recursion.
+
+        Returns the variable that appears in both phases in the most
+        cubes (ties broken by total occurrences), or ``None`` when the
+        cover is unate.
+        """
+        best_var = None
+        best_key = None
+        for var in range(self.num_inputs):
+            neg, pos = self.var_usage(var)
+            if neg and pos:
+                key = (min(neg, pos), neg + pos)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_var = var
+        return best_var
+
+    def most_used_var(self) -> int | None:
+        """The variable with the most literal occurrences (any phase)."""
+        best_var = None
+        best = 0
+        for var in range(self.num_inputs):
+            neg, pos = self.var_usage(var)
+            if neg + pos > best:
+                best = neg + pos
+                best_var = var
+        return best_var
+
+    # ------------------------------------------------------------------
+    # formatting
+    # ------------------------------------------------------------------
+    def to_strings(self) -> list[str]:
+        """ESPRESSO-style rows (input part, space, output part)."""
+        return [
+            f"{c.input_string()} {c.output_string(self.num_outputs)}" for c in self.cubes
+        ]
+
+    def to_expression(self, names: Sequence[str] | None = None, output: int = 0) -> str:
+        """Human-readable SOP expression for one output."""
+        bit = 1 << output
+        terms = [c.to_expression(names) for c in self.cubes if c.outputs & bit]
+        if not terms:
+            return "0"
+        return " + ".join(terms)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "\n".join(self.to_strings())
+
+
+def compact_minterm_cover(minterms: set[int], num_inputs: int,
+                          outputs: int = 1, num_outputs: int = 1) -> Cover:
+    """Build a compact (not minimal) cube cover of a minterm set.
+
+    Recursive Shannon construction: a sub-space entirely inside the set
+    becomes one cube; otherwise split on the next variable.  Exact and
+    fast — used to keep region covers small before minimization when
+    state graphs have thousands of states.
+    """
+    cubes: list[Cube] = []
+
+    def rec(prefix_mask: int, var: int, members: set[int]) -> None:
+        """Split on variable ``var`` downward (MSB first, which aligns
+        with how state codes cluster) with remaining free variables
+        ``0..var``."""
+        if not members:
+            return
+        space = 1 << (var + 1)
+        if len(members) == space:
+            # full subcube: variables 0..var are don't care
+            mask = prefix_mask
+            for v in range(var + 1):
+                mask |= LIT_DC << (2 * v)
+            cubes.append(Cube(num_inputs, mask, outputs))
+            return
+        bit = 1 << var
+        lo = {m for m in members if not m & bit}
+        hi = {m & ~bit for m in members if m & bit}
+        rec(prefix_mask | (LIT_ZERO << (2 * var)), var - 1, lo)
+        rec(prefix_mask | (LIT_ONE << (2 * var)), var - 1, hi)
+
+    rec(0, num_inputs - 1, set(minterms))
+
+    # Quine–McCluskey style merge pass: cubes identical except for one
+    # variable held in complementary phases fuse into one cube with the
+    # variable raised.  Repairs patterns misaligned with the recursion
+    # order (e.g. parity-like sets aligned on low-order variables).
+    work = {c.inputs for c in cubes}
+    changed = True
+    while changed:
+        changed = False
+        for var in range(num_inputs):
+            shift = 2 * var
+            by_rest: dict[int, int] = {}
+            for mask in work:
+                rest = mask & ~(0b11 << shift)
+                by_rest[rest] = by_rest.get(rest, 0) | ((mask >> shift) & 0b11)
+            for rest, phases in by_rest.items():
+                if phases == 0b11:
+                    lo = rest | (LIT_ZERO << shift)
+                    hi = rest | (LIT_ONE << shift)
+                    if lo in work and hi in work:
+                        work.discard(lo)
+                        work.discard(hi)
+                        work.add(rest | (LIT_DC << shift))
+                        changed = True
+    return Cover(
+        num_inputs, num_outputs, [Cube(num_inputs, m, outputs) for m in sorted(work)]
+    )

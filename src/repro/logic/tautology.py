@@ -1,0 +1,144 @@
+"""Tautology checking and cover containment via unate recursion.
+
+The tautology check is the workhorse predicate of two-level
+minimization: *is this cover identically 1?*  ESPRESSO reduces both
+redundancy detection and cube-covering queries to tautology of a
+cofactored cover.  We implement the classic unate recursive paradigm
+[Brayton et al. 84, Rudell 89]:
+
+* **Unate leaf rule** — a unate cover is a tautology iff it contains a
+  row of all don't cares.
+* **Speedups** — a cover with an all-don't-care row is a tautology; a
+  cover with fewer than ``2**n / max_cube_size`` coverage cannot be; a
+  variable appearing in only one phase can be cofactored away for free
+  (unate reduction).
+* **Binate splitting** — recurse on the most binate variable.
+
+All functions here treat covers as *single-output* (the input parts
+only).  Multi-output queries project per output first; see
+:func:`covers_cube` and :func:`cover_covers_cube_multi`.
+"""
+
+from __future__ import annotations
+
+from .cube import LIT_DC, LIT_ONE, LIT_ZERO, Cube
+from .cover import Cover
+
+__all__ = ["is_tautology", "covers_cube", "cover_covers_cube_multi", "covers_cover"]
+
+
+def _unate_reduced(cover: Cover) -> Cover:
+    """Drop unate variables' literals (monotone reduction).
+
+    If a variable appears only in one phase, rows containing that
+    literal can only help cover the half-space they sit in; for the
+    tautology question, the cover is a tautology iff the cofactor
+    against the *opposing* half-space is — which equals dropping the
+    rows that contain the literal.  Equivalently: taut(F) iff
+    taut(F cofactored by the phase where those literals are absent).
+    We implement the standard reduction: remove every row containing a
+    unate literal, because those rows cannot cover the opposite
+    half-space which must be covered anyway.
+    """
+    cubes = cover.cubes
+    changed = True
+    while changed:
+        changed = False
+        for var in range(cover.num_inputs):
+            neg = pos = 0
+            for c in cubes:
+                f = c.literal(var)
+                if f == LIT_ZERO:
+                    neg += 1
+                elif f == LIT_ONE:
+                    pos += 1
+            if neg and pos:
+                continue
+            if not neg and not pos:
+                continue
+            # unate in `var`: rows with the literal cannot cover the
+            # opposite half-space; the cover is a tautology iff the
+            # sub-cover of rows with var = don't care is.
+            new = [c for c in cubes if c.literal(var) == LIT_DC]
+            if len(new) != len(cubes):
+                cubes = new
+                changed = True
+        if not cubes:
+            break
+    return Cover(cover.num_inputs, cover.num_outputs, list(cubes))
+
+
+def is_tautology(cover: Cover) -> bool:
+    """True when the union of the cover's cubes is the whole space.
+
+    Operates on input parts only (single-output semantics).
+    """
+    cubes = [c for c in cover.cubes if not c.is_empty()]
+    if not cubes:
+        return cover.num_inputs == 0 and False
+    # quick accept: a universal row
+    for c in cubes:
+        if c.is_full_inputs():
+            return True
+    if cover.num_inputs == 0:
+        return bool(cubes)
+    # quick reject: total size bound
+    total = 0
+    space = 1 << cover.num_inputs
+    for c in cubes:
+        total += c.size()
+        if total >= space:
+            break
+    if total < space:
+        return False
+
+    work = Cover(cover.num_inputs, 1, cubes)
+    work = _unate_reduced(work)
+    if not work.cubes:
+        return False
+    for c in work.cubes:
+        if c.is_full_inputs():
+            return True
+
+    var = work.most_binate_var()
+    if var is None:
+        # unate cover: tautology iff it has a universal row (checked above)
+        return False
+    pos_half = Cube.full(cover.num_inputs).with_literal(var, LIT_ONE)
+    neg_half = Cube.full(cover.num_inputs).with_literal(var, LIT_ZERO)
+    return is_tautology(work.cofactor(pos_half)) and is_tautology(
+        work.cofactor(neg_half)
+    )
+
+
+def covers_cube(cover: Cover, cube: Cube) -> bool:
+    """True when ``cover`` covers every minterm of ``cube`` (input parts).
+
+    Classic reduction: ``cover ⊇ cube`` iff ``cofactor(cover, cube)``
+    is a tautology.
+    """
+    if cube.is_empty():
+        return True
+    return is_tautology(cover.cofactor(cube))
+
+
+def cover_covers_cube_multi(cover: Cover, cube: Cube) -> bool:
+    """Multi-output covering: every (minterm, output) of ``cube`` covered.
+
+    For each output bit in ``cube.outputs``, the projection of
+    ``cover`` onto that output must cover the cube's input part.
+    """
+    o = cube.outputs
+    idx = 0
+    while o:
+        if o & 1:
+            if not covers_cube(cover.projection(idx), cube.with_outputs(1)):
+                return False
+        o >>= 1
+        idx += 1
+    return True
+
+
+def covers_cover(big: Cover, small: Cover) -> bool:
+    """True when ``big`` covers every cube of ``small`` (multi-output)."""
+    return all(cover_covers_cube_multi(big, c) for c in small.cubes)

@@ -1,0 +1,27 @@
+"""Gate-level netlist substrate: cells, library, container, writers."""
+
+from .gates import Gate, GateType, Pin, and_gate, or_gate
+from .library import Library, DEFAULT_LIBRARY, LEVEL_DELAY_NS
+from .netlist import Netlist, NetlistError, NetlistStats
+from .verilog import write_verilog
+from .mhs_cell import build_mhs_cell, MHS_STAGE_NAMES
+from .trees import build_gate_tree, MAX_FANIN
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Pin",
+    "and_gate",
+    "or_gate",
+    "Library",
+    "DEFAULT_LIBRARY",
+    "LEVEL_DELAY_NS",
+    "Netlist",
+    "NetlistError",
+    "NetlistStats",
+    "write_verilog",
+    "build_mhs_cell",
+    "MHS_STAGE_NAMES",
+    "build_gate_tree",
+    "MAX_FANIN",
+]

@@ -1,0 +1,53 @@
+"""Fanin-limited gate trees.
+
+Library cells have bounded fanin; wide SOP planes decompose into gate
+trees, which is where the extra logic level of the biggest Table 2
+circuits (the 6.0 ns rows) comes from.  The helpers here build balanced
+AND/OR trees and report their depth.
+"""
+
+from __future__ import annotations
+
+from .gates import Gate, GateType, Pin
+from .netlist import Netlist
+
+__all__ = ["build_gate_tree", "MAX_FANIN"]
+
+#: default maximum gate fanin (library limit)
+MAX_FANIN = 8
+
+
+def build_gate_tree(
+    nl: Netlist,
+    gate_type: GateType,
+    pins: list[Pin],
+    output: str,
+    prefix: str,
+    max_fanin: int = MAX_FANIN,
+) -> int:
+    """Build a fanin-limited AND/OR tree driving ``output``.
+
+    Returns the tree depth in levels.  A single pin degenerates to a
+    buffer only when it carries an inversion bubble (a bare net is just
+    wired through by the caller instead).
+    """
+    if gate_type not in (GateType.AND, GateType.OR):
+        raise ValueError("build_gate_tree handles AND/OR only")
+    if not pins:
+        raise ValueError("empty pin list")
+    if len(pins) <= max_fanin:
+        nl.add(Gate(f"{prefix}_{output}", gate_type, list(pins), output))
+        return 1
+    # group pins into max_fanin chunks, recurse on the chunk outputs
+    depth = 0
+    children: list[Pin] = []
+    for k in range(0, len(pins), max_fanin):
+        chunk = pins[k : k + max_fanin]
+        if len(chunk) == 1:
+            children.append(chunk[0])
+            continue
+        net = nl.fresh_net(f"{prefix}_t")
+        nl.add(Gate(f"{prefix}_{net}", gate_type, chunk, net))
+        children.append(Pin(net))
+        depth = 1
+    return depth + build_gate_tree(nl, gate_type, children, output, prefix, max_fanin)

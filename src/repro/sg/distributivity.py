@@ -1,0 +1,73 @@
+"""Detonant states and distributivity — Definitions 3–4 of the paper.
+
+A state ``w`` is *detonant* with respect to a non-input signal ``a``
+when ``a`` is stable in ``w`` but excited in two distinct direct
+successors of ``w``: the excitation of ``a`` is then caused by an OR of
+two concurrent causes (OR-causality).  A semi-modular SG with input
+choices is *distributive* w.r.t. ``a`` iff it has no detonant state
+w.r.t. ``a``.
+
+Distributivity is the dividing line in the paper's experimental
+section: the SIS/Lavagno and SYN/Beerel baselines handle only
+distributive specifications, whereas the N-SHOT architecture also
+covers the non-distributive industrial designs of Table 2's second
+half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import StateGraph, StateId
+
+__all__ = [
+    "DetonantState",
+    "detonant_states",
+    "is_distributive_for",
+    "is_distributive",
+    "non_distributive_signals",
+]
+
+
+@dataclass(frozen=True)
+class DetonantState:
+    """A witness of non-distributivity.
+
+    ``state`` is detonant w.r.t. non-input ``signal``: the signal is
+    stable there but excited in both successor states ``u`` and ``v``.
+    """
+
+    state: StateId
+    signal: int
+    u: StateId
+    v: StateId
+
+
+def detonant_states(sg: StateGraph, signal: int) -> list[DetonantState]:
+    """All detonant states w.r.t. one non-input signal (Definition 3)."""
+    out: list[DetonantState] = []
+    for w in sg.states():
+        if sg.is_excited(w, signal):
+            continue  # a must be stable in w
+        succs = [d for _, d in sg.successors(w)]
+        excited = [d for d in succs if sg.is_excited(d, signal)]
+        # all pairs of distinct successors in which `signal` is excited
+        for i in range(len(excited)):
+            for j in range(i + 1, len(excited)):
+                out.append(DetonantState(w, signal, excited[i], excited[j]))
+    return out
+
+
+def is_distributive_for(sg: StateGraph, signal: int) -> bool:
+    """Distributivity w.r.t. one non-input signal (Definition 4)."""
+    return not detonant_states(sg, signal)
+
+
+def non_distributive_signals(sg: StateGraph) -> list[int]:
+    """Non-input signals with at least one detonant state."""
+    return [a for a in sg.non_inputs if not is_distributive_for(sg, a)]
+
+
+def is_distributive(sg: StateGraph) -> bool:
+    """True when the SG is distributive w.r.t. every non-input signal."""
+    return not non_distributive_signals(sg)

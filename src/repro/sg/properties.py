@@ -1,0 +1,187 @@
+"""SG property checks — Definitions 1–2 of the paper.
+
+* :func:`check_consistency` — the consistent state assignment of
+  Section III-A (also enforced structurally at arc insertion, but this
+  checker validates whole graphs built elsewhere, e.g. from STG
+  reachability).
+* :func:`csc_violations` / :func:`satisfies_csc` — Complete State
+  Coding (Definition 1): any two states either have different binary
+  codes or identical sets of excited *non-input* signals.
+* :func:`semimodularity_violations` / :func:`is_semimodular_with_input_choices`
+  — Definition 2: an enabled non-input transition can never be
+  disabled; formally for every state ``s``, non-input ``t1`` and any
+  ``t2`` enabled in ``s``, both interleavings exist and commute to the
+  same state.
+* :func:`usc_violations` — the stronger Unique State Coding, reported
+  for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import StateGraph, StateId, Transition
+
+__all__ = [
+    "check_consistency",
+    "csc_violations",
+    "satisfies_csc",
+    "usc_violations",
+    "semimodularity_violations",
+    "is_semimodular_with_input_choices",
+    "SemimodularityViolation",
+    "validate_for_synthesis",
+    "SGValidationReport",
+]
+
+
+def check_consistency(sg: StateGraph) -> list[str]:
+    """Return a list of consistency violations (empty when consistent).
+
+    Checks every arc obeys the state assignment rules: a ``+x`` arc
+    flips exactly bit ``x`` from 0 to 1, a ``-x`` arc from 1 to 0.
+    (StateGraph.add_arc enforces this; the checker exists for graphs
+    deserialized or constructed by other front-ends and as the oracle
+    for property-based tests.)
+    """
+    problems = []
+    for s in sg.states():
+        for t, d in sg.successors(s):
+            sv = sg.value(s, t.signal)
+            dv = sg.value(d, t.signal)
+            expect = (0, 1) if t.rising else (1, 0)
+            if (sv, dv) != expect:
+                problems.append(
+                    f"arc {t.label(sg.signals)} at {s!r} has values {sv}->{dv}"
+                )
+            if (sg.code(s) ^ sg.code(d)) != (1 << t.signal):
+                problems.append(
+                    f"arc {t.label(sg.signals)} at {s!r} changes other signals"
+                )
+    return problems
+
+
+def csc_violations(sg: StateGraph) -> list[tuple[StateId, StateId]]:
+    """Pairs of states violating Complete State Coding (Definition 1).
+
+    Two states conflict when they share a binary code but differ in
+    their sets of excited non-input signals.
+    """
+    by_code: dict[int, list[StateId]] = {}
+    for s in sg.states():
+        by_code.setdefault(sg.code(s), []).append(s)
+    bad = []
+    for code, states in by_code.items():
+        if len(states) < 2:
+            continue
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                a, b = states[i], states[j]
+                if sg.excited_non_inputs(a) != sg.excited_non_inputs(b):
+                    bad.append((a, b))
+    return bad
+
+
+def satisfies_csc(sg: StateGraph) -> bool:
+    """True when the SG satisfies the CSC property."""
+    return not csc_violations(sg)
+
+
+def usc_violations(sg: StateGraph) -> list[tuple[StateId, StateId]]:
+    """Pairs of distinct states sharing a binary code (Unique State Coding)."""
+    by_code: dict[int, list[StateId]] = {}
+    for s in sg.states():
+        by_code.setdefault(sg.code(s), []).append(s)
+    bad = []
+    for states in by_code.values():
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                bad.append((states[i], states[j]))
+    return bad
+
+
+@dataclass(frozen=True)
+class SemimodularityViolation:
+    """One witness of a semi-modularity failure.
+
+    ``t1`` (non-input) was enabled at ``state`` together with ``t2``,
+    but either firing ``t2`` disabled ``t1`` (``kind='disabled'``) or
+    the two interleavings do not close a diamond
+    (``kind='no-diamond'``).
+    """
+
+    state: StateId
+    t1: Transition
+    t2: Transition
+    kind: str
+
+
+def semimodularity_violations(sg: StateGraph) -> list[SemimodularityViolation]:
+    """Check Definition 2 (semi-modularity with input choices).
+
+    For every reachable state ``s``, every enabled *non-input*
+    transition ``t1`` and every other enabled transition ``t2``:
+    after firing ``t2``, ``t1`` must still be enabled and
+    ``s -t1 t2-> s'`` and ``s -t2 t1-> s'`` must meet at the same
+    state.  Input transitions may disable each other (input choice).
+    """
+    out: list[SemimodularityViolation] = []
+    for s in sg.states():
+        enabled = sg.enabled(s)
+        for t1 in enabled:
+            if sg.is_input(t1.signal):
+                continue
+            for t2 in enabled:
+                if t1 == t2:
+                    continue
+                s2 = sg.succ(s, t2)
+                assert s2 is not None
+                if sg.succ(s2, t1) is None:
+                    out.append(SemimodularityViolation(s, t1, t2, "disabled"))
+                    continue
+                s1 = sg.succ(s, t1)
+                assert s1 is not None
+                via_t1 = sg.succ(s1, t2)
+                via_t2 = sg.succ(s2, t1)
+                if via_t1 is None or via_t1 != via_t2:
+                    out.append(SemimodularityViolation(s, t1, t2, "no-diamond"))
+    return out
+
+
+def is_semimodular_with_input_choices(sg: StateGraph) -> bool:
+    """True when the SG is semi-modular with input choices (Definition 2)."""
+    return not semimodularity_violations(sg)
+
+
+@dataclass
+class SGValidationReport:
+    """Aggregate of all pre-synthesis checks for one SG."""
+
+    consistency: list[str]
+    csc: list[tuple[StateId, StateId]]
+    semimodularity: list[SemimodularityViolation]
+
+    @property
+    def ok(self) -> bool:
+        return not (self.consistency or self.csc or self.semimodularity)
+
+    def summary(self) -> str:
+        if self.ok:
+            return "SG valid: consistent, CSC, semi-modular with input choices"
+        parts = []
+        if self.consistency:
+            parts.append(f"{len(self.consistency)} consistency violations")
+        if self.csc:
+            parts.append(f"{len(self.csc)} CSC conflicts")
+        if self.semimodularity:
+            parts.append(f"{len(self.semimodularity)} semi-modularity violations")
+        return "SG invalid: " + ", ".join(parts)
+
+
+def validate_for_synthesis(sg: StateGraph) -> SGValidationReport:
+    """Run every check Theorem 2 requires before synthesis."""
+    return SGValidationReport(
+        consistency=check_consistency(sg),
+        csc=csc_violations(sg),
+        semimodularity=semimodularity_violations(sg),
+    )

@@ -1,0 +1,34 @@
+"""Pure-delay event simulation: gates, MHS flip-flop, SG environment.
+
+Substitutes for the authors' VERILOG/SPICE validation: a gate-level
+event-driven simulator under the pure delay model, a behavioural MHS
+flip-flop with ω/τ electrical parameters, and an SG-driven environment
+with conformance checking for closed-loop hazard-freeness runs.
+"""
+
+from .waveform import Waveform, Pulse, TraceSet
+from .mhs import MhsParams, MhsState, mhs_response, celement_response
+from .simulator import Simulator, SimConfig
+from .environment import SGEnvironment, ConformanceReport
+from .hazards import HazardReport, analyze_hazards
+from .vcd import write_vcd
+from .performance import PerformanceReport, measure_performance
+
+__all__ = [
+    "Waveform",
+    "Pulse",
+    "TraceSet",
+    "MhsParams",
+    "MhsState",
+    "mhs_response",
+    "celement_response",
+    "Simulator",
+    "SimConfig",
+    "SGEnvironment",
+    "ConformanceReport",
+    "HazardReport",
+    "analyze_hazards",
+    "write_vcd",
+    "PerformanceReport",
+    "measure_performance",
+]

@@ -1,0 +1,88 @@
+"""Hazard classification on simulation traces.
+
+The paper's central claim separates two worlds:
+
+* **internal nets** (the SOP planes' AND/OR outputs) may glitch freely
+  — "the SOP networks may produce hazards that are manifested as
+  streams of pulses" (Section IV-A);
+* **externally observable non-input signals** (the MHS flip-flop
+  outputs) must be hazard-free: every transition is a specified SG
+  transition, exactly once per excitation region traversal.
+
+:func:`analyze_hazards` quantifies both sides on a finished
+simulation: it counts glitch pulses per net and partitions them into
+tolerated-internal vs violating-observable, giving tests and benches a
+single structured view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .waveform import TraceSet
+
+__all__ = ["HazardReport", "analyze_hazards"]
+
+
+@dataclass
+class HazardReport:
+    """Glitch census of one simulation run.
+
+    ``internal_glitches`` maps internal net → number of glitch pulses
+    (these are *expected* and tolerated by the architecture);
+    ``observable_glitches`` maps observable net → glitch count (any
+    nonzero entry is a hazard-freeness violation).
+    """
+
+    internal_glitches: dict[str, int] = field(default_factory=dict)
+    observable_glitches: dict[str, int] = field(default_factory=dict)
+    glitch_width: float = 0.0
+
+    @property
+    def internal_total(self) -> int:
+        return sum(self.internal_glitches.values())
+
+    @property
+    def observable_total(self) -> int:
+        return sum(self.observable_glitches.values())
+
+    @property
+    def externally_hazard_free(self) -> bool:
+        return self.observable_total == 0
+
+    def summary(self) -> str:
+        return (
+            f"internal glitch pulses: {self.internal_total} "
+            f"(on {len([k for k, v in self.internal_glitches.items() if v])} nets), "
+            f"observable glitch pulses: {self.observable_total}"
+        )
+
+
+def analyze_hazards(
+    traces: TraceSet,
+    observable_nets: Sequence[str],
+    internal_nets: Iterable[str] | None = None,
+    glitch_width: float = 1.0,
+) -> HazardReport:
+    """Count glitch pulses, split into internal vs observable nets.
+
+    A *glitch pulse* is a level held for less than ``glitch_width``
+    (excluding the initial and final levels of the run) — the pulse
+    streams of Figure 3.  The default width of one gate delay is what
+    the MHS flip-flop must be robust against.
+    """
+    report = HazardReport(glitch_width=glitch_width)
+    observable = set(observable_nets)
+    nets = set(internal_nets) if internal_nets is not None else set(traces.nets())
+    nets |= observable
+    for net in sorted(nets):
+        wave = traces.get(net)
+        if wave is None:
+            continue
+        count = len(wave.glitch_pulses(glitch_width))
+        if net in observable:
+            report.observable_glitches[net] = count
+        else:
+            report.internal_glitches[net] = count
+    return report

@@ -1,0 +1,310 @@
+"""Pure-delay event-driven gate-level simulator.
+
+Implements the delay model of Section IV-A: every gate has a *pure*
+delay — "a pulse of any length that occurs on a gate input can
+propagate to the gate output".  There is no inertial filtering in
+ordinary gates; the only pulse filtering in the whole system is the ω
+threshold inside the MHS flip-flop.  Gates and wires may have
+arbitrary delays: in ``jitter`` mode each gate instance is assigned a
+random delay around its library nominal, which is how the Monte-Carlo
+hazard-freeness verification explores delay corners.
+
+The simulator executes a :class:`~repro.netlist.netlist.Netlist`
+containing combinational gates plus the behavioural sequential cells
+(MHS flip-flop, C-element, RS latch).  External drivers (the
+SG environment) inject values on primary inputs via :meth:`drive`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..netlist.gates import Gate, GateType
+from ..netlist.library import DEFAULT_LIBRARY, Library
+from ..netlist.netlist import Netlist
+from .mhs import MhsParams, MhsState
+from .waveform import TraceSet
+
+__all__ = ["Simulator", "SimConfig"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of one simulation run.
+
+    ``jitter`` — relative spread of per-gate delays: each gate gets a
+    fixed delay drawn uniformly from ``nominal × [1-jitter, 1+jitter]``
+    at construction (0 = nominal everywhere).
+    ``mhs`` — the MHS flip-flop's electrical parameters.
+    ``cel_tau`` — response delay of baseline C-elements/RS latches.
+    """
+
+    jitter: float = 0.0
+    seed: int | None = None
+    mhs: MhsParams = field(default_factory=MhsParams)
+    cel_tau: float = 1.2
+
+
+class Simulator:
+    """Event-driven execution of a netlist under the pure delay model."""
+
+    # event kinds, ordered so that internal window checks run before
+    # net changes at equal timestamps
+    _KIND_CHECK = 0
+    _KIND_NET = 1
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: SimConfig | None = None,
+        library: Library = DEFAULT_LIBRARY,
+    ) -> None:
+        self.netlist = netlist
+        self.config = config or SimConfig()
+        self.library = library
+        self.rng = random.Random(self.config.seed)
+        self.now = 0.0
+        self.values: dict[str, int] = {}
+        self.traces = TraceSet()
+        self.violations: list[str] = []
+        self._queue: list[tuple[float, int, int, str, int]] = []
+        self._seq = 0
+        self._watchers: dict[str, list[Callable[[float, int], None]]] = {}
+        self._fanout: dict[str, list[Gate]] = {}
+        for g in netlist.gates:
+            for p in g.inputs:
+                self._fanout.setdefault(p.net, []).append(g)
+        self._delay: dict[str, float] = {}
+        for g in netlist.gates:
+            nominal = library.gate_delay(g)
+            if (
+                self.config.jitter > 0
+                and not g.is_sequential
+                and g.type != GateType.DELAY
+            ):
+                lo = nominal * (1 - self.config.jitter)
+                hi = nominal * (1 + self.config.jitter)
+                self._delay[g.name] = max(0.01, self.rng.uniform(lo, hi))
+            else:
+                self._delay[g.name] = max(0.01, nominal)
+        self._mhs: dict[str, MhsState] = {}
+        self._cel_pending: dict[str, tuple[float, int] | None] = {}
+        for g in netlist.gates:
+            if g.type == GateType.MHSFF:
+                self._mhs[g.name] = MhsState(
+                    params=self.config.mhs, q=int(g.attrs.get("init", 0))
+                )
+            elif g.type in (GateType.CEL, GateType.RSLATCH):
+                self._cel_pending[g.name] = None
+
+    # ------------------------------------------------------------------
+    # initialization
+    # ------------------------------------------------------------------
+    def initialize(self, input_values: dict[str, int]) -> None:
+        """Set primary inputs and settle the combinational logic at t=0.
+
+        Sequential cells start from their ``init`` attribute; the
+        combinational network is levelized by repeated evaluation until
+        the values reach a fixed point (the netlists built here have no
+        combinational cycles).
+        """
+        for net in self.netlist.primary_inputs:
+            self.values[net] = int(input_values.get(net, 0))
+        for g in self.netlist.gates:
+            if g.type == GateType.MHSFF:
+                q = self._mhs[g.name].q
+                self.values[g.output] = q
+                if g.output_n:
+                    self.values[g.output_n] = 1 - q
+            elif g.type in (GateType.CEL, GateType.RSLATCH):
+                q = int(g.attrs.get("init", 0))
+                self.values[g.output] = q
+                if g.output_n:
+                    self.values[g.output_n] = 1 - q
+            elif g.type == GateType.CONST:
+                self.values[g.output] = int(g.attrs.get("value", 0))
+        # settle combinational nets
+        for _ in range(len(self.netlist.gates) + 2):
+            changed = False
+            for g in self.netlist.gates:
+                if g.is_sequential or g.type in (GateType.INPUT, GateType.CONST):
+                    continue
+                val = self._eval_comb(g)
+                if val is not None and self.values.get(g.output) != val:
+                    self.values[g.output] = val
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise RuntimeError("combinational initialization did not settle")
+        # seed MHS input levels so later edges are detected correctly
+        for g in self.netlist.gates:
+            if g.type == GateType.MHSFF:
+                st = self._mhs[g.name]
+                st.set_level = self._pin_value(g.inputs[0])
+                st.reset_level = self._pin_value(g.inputs[1])
+                if st.set_level and st.q == 0:
+                    st._set_window = 0.0
+                    self._schedule_check(self.config.mhs.omega)
+                if st.reset_level and st.q == 1:
+                    st._reset_window = 0.0
+                    self._schedule_check(self.config.mhs.omega)
+        for net, v in self.values.items():
+            self.traces.record(net, 0.0, v)
+
+    # ------------------------------------------------------------------
+    # driving and observing
+    # ------------------------------------------------------------------
+    def drive(self, net: str, value: int, at: float) -> None:
+        """Schedule a primary-input change."""
+        if net not in self.netlist.primary_inputs:
+            raise ValueError(f"{net!r} is not a primary input")
+        self._post(at, net, value)
+
+    def watch(self, net: str, callback: Callable[[float, int], None]) -> None:
+        """Register a callback invoked on every change of ``net``."""
+        self._watchers.setdefault(net, []).append(callback)
+
+    def value(self, net: str) -> int:
+        return self.values.get(net, 0)
+
+    # ------------------------------------------------------------------
+    # event machinery
+    # ------------------------------------------------------------------
+    def _post(self, time: float, net: str, value: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._KIND_NET, self._seq, net, value))
+
+    def _schedule_check(self, time: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._KIND_CHECK, self._seq, "", 0))
+
+    def pending(self) -> bool:
+        return bool(self._queue)
+
+    def next_time(self) -> float | None:
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: float) -> None:
+        """Process events up to (and including) time ``until``."""
+        while self._queue and self._queue[0][0] <= until + 1e-12:
+            time, kind, _, net, value = heapq.heappop(self._queue)
+            self.now = max(self.now, time)
+            if kind == self._KIND_CHECK:
+                self._run_mhs_checks(time)
+                continue
+            if self.values.get(net) == value:
+                continue
+            self.values[net] = value
+            self.traces.record(net, time, value)
+            for cb in self._watchers.get(net, []):
+                cb(time, value)
+            for g in self._fanout.get(net, []):
+                self._gate_input_changed(g, time)
+
+    def _pin_value(self, pin) -> int:
+        v = self.values.get(pin.net, 0)
+        return 1 - v if pin.inverted else v
+
+    def _eval_comb(self, g: Gate) -> int | None:
+        t = g.type
+        ins = [self._pin_value(p) for p in g.inputs]
+        if t == GateType.AND:
+            return 1 if all(ins) else 0
+        if t == GateType.OR:
+            return 1 if any(ins) else 0
+        if t == GateType.INV:
+            return 1 - ins[0]
+        if t in (GateType.BUF, GateType.DELAY):
+            return ins[0]
+        if t == GateType.CONST:
+            return int(g.attrs.get("value", 0))
+        return None
+
+    def _gate_input_changed(self, g: Gate, time: float) -> None:
+        t = g.type
+        if t in (GateType.AND, GateType.OR, GateType.INV, GateType.BUF, GateType.DELAY):
+            val = self._eval_comb(g)
+            assert val is not None
+            # pure delay: schedule unconditionally; the queue's
+            # last-write-wins per net at each timestamp reproduces the
+            # transport-delay waveform, including narrow pulses.
+            self._post(time + self._delay[g.name], g.output, val)
+        elif t == GateType.MHSFF:
+            st = self._mhs[g.name]
+            sv = self._pin_value(g.inputs[0])
+            rv = self._pin_value(g.inputs[1])
+            if sv != st.set_level:
+                st.on_set_edge(time, sv)
+            if rv != st.reset_level:
+                st.on_reset_edge(time, rv)
+            dl = st.window_deadline()
+            if dl is not None:
+                self._schedule_check(dl)
+        elif t in (GateType.CEL, GateType.RSLATCH):
+            self._cel_changed(g, time)
+        elif t in (GateType.INPUT, GateType.CONST):
+            pass
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported gate {g.type}")
+
+    def _run_mhs_checks(self, time: float) -> None:
+        for g in self.netlist.gates:
+            if g.type != GateType.MHSFF:
+                continue
+            st = self._mhs[g.name]
+            for t_commit, v in st.check_windows(time):
+                # the output event is applied through the normal queue
+                self._seq += 1
+                heapq.heappush(
+                    self._queue,
+                    (t_commit, self._KIND_NET, self._seq, g.output, v),
+                )
+                if g.output_n:
+                    heapq.heappush(
+                        self._queue,
+                        (t_commit, self._KIND_NET, self._seq, g.output_n, 1 - v),
+                    )
+                st.apply_commit(t_commit, v)
+
+    def _cel_changed(self, g: Gate, time: float) -> None:
+        """Baseline C-element / RS latch behaviour (no ω filtering).
+
+        A C-element commits whenever all inputs agree on a value
+        different from the current output — even if the agreement is a
+        runt pulse (this is exactly the weakness the MHS flip-flop
+        fixes).  An RS latch commits on set/reset assertion.
+        """
+        ins = [self._pin_value(p) for p in g.inputs]
+        q = self.values.get(g.output, 0)
+        fire: int | None = None
+        if g.type == GateType.CEL:
+            if all(v == 1 for v in ins) and q == 0:
+                fire = 1
+            elif all(v == 0 for v in ins) and q == 1:
+                fire = 0
+        else:  # RS latch: inputs [set, reset]
+            s, r = ins[0], ins[1]
+            if s and r:
+                self.violations.append(
+                    f"t={time:.3f}: RS latch {g.name} set and reset both high"
+                )
+            elif s and q == 0:
+                fire = 1
+            elif r and q == 1:
+                fire = 0
+        if fire is not None:
+            self._post(time + self.config.cel_tau, g.output, fire)
+            if g.output_n:
+                self._post(time + self.config.cel_tau, g.output_n, 1 - fire)
+
+    # ------------------------------------------------------------------
+    def mhs_violations(self) -> list[str]:
+        """Set/reset overlap violations recorded by the MHS models."""
+        out = list(self.violations)
+        for name, st in self._mhs.items():
+            out.extend(f"{name}: {v}" for v in st.violations)
+        return out

@@ -1,0 +1,27 @@
+"""Signal Transition Graph front-end.
+
+STGs (labelled safe Petri nets) are the high-level formalism the
+benchmark circuits are specified in; token-flow reachability produces
+the state graphs the N-SHOT synthesizer consumes.
+"""
+
+from .petrinet import Stg, StgTransition, StgError
+from .parser import parse_g, write_g
+from .reachability import elaborate, infer_initial_values, ElaborationError
+from .analysis import StgReport, is_live, is_safe, free_choice_conflicts, classify
+
+__all__ = [
+    "Stg",
+    "StgTransition",
+    "StgError",
+    "parse_g",
+    "write_g",
+    "elaborate",
+    "infer_initial_values",
+    "ElaborationError",
+    "StgReport",
+    "is_live",
+    "is_safe",
+    "free_choice_conflicts",
+    "classify",
+]

@@ -1,0 +1,191 @@
+"""Parser/writer for the astg ``.g`` text format.
+
+This is the interchange format of SIS-era asynchronous tools (petrify,
+assassin, syn): a ``.graph`` section lists arcs between transitions
+(implicit places) or between transitions and explicit places, and
+``.marking`` gives the initial tokens.  Example::
+
+    .model chu133-like
+    .inputs a b
+    .outputs c
+    .graph
+    a+ c+
+    b+ c+
+    c+ a- b-
+    a- c-
+    b- c-
+    c- a+ b+
+    .marking { <c-,a+> <c-,b+> }
+    .end
+
+Supported directives: ``.model``, ``.name``, ``.inputs``, ``.outputs``,
+``.internal``, ``.dummy`` (rejected — dummies have no SG semantics
+here), ``.graph``, ``.marking``, ``.initial`` (non-standard: explicit
+initial signal values), ``.end``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .petrinet import Stg, StgError, StgTransition
+
+__all__ = ["parse_g", "write_g"]
+
+_TRANSITION_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\[\]]*[+-](/\d+)?$")
+
+
+def _is_transition(token: str) -> bool:
+    return bool(_TRANSITION_RE.match(token))
+
+
+def parse_g(text: str) -> Stg:
+    """Parse ``.g`` text into an :class:`~repro.stg.petrinet.Stg`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    internal: list[str] = []
+    name = "stg"
+    graph_lines: list[str] = []
+    marking_tokens: list[str] = []
+    initial_values: dict[str, int] = {}
+    in_graph = False
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key in (".model", ".name"):
+                name = parts[1] if len(parts) > 1 else name
+                in_graph = False
+            elif key == ".inputs":
+                inputs.extend(parts[1:])
+                in_graph = False
+            elif key == ".outputs":
+                outputs.extend(parts[1:])
+                in_graph = False
+            elif key == ".internal":
+                internal.extend(parts[1:])
+                in_graph = False
+            elif key == ".dummy":
+                raise StgError(".dummy transitions are not supported")
+            elif key == ".graph":
+                in_graph = True
+            elif key == ".marking":
+                in_graph = False
+                body = line[len(".marking"):].strip()
+                body = body.strip("{} \t")
+                marking_tokens.extend(_split_marking(body))
+            elif key == ".initial":
+                # non-standard: ".initial a=1 b=0"
+                for assign in parts[1:]:
+                    sig, _, val = assign.partition("=")
+                    initial_values[sig] = int(val)
+                in_graph = False
+            elif key in (".end",):
+                in_graph = False
+            else:
+                raise StgError(f"unknown directive {key!r}")
+            continue
+        if in_graph:
+            graph_lines.append(line)
+
+    stg = Stg(inputs, outputs, internal, name=name)
+    explicit_places: set[str] = set()
+    # first pass: discover explicit place names (tokens that are not
+    # transition-shaped)
+    for line in graph_lines:
+        for tok in line.split():
+            if not _is_transition(tok):
+                explicit_places.add(tok)
+    for p in explicit_places:
+        stg.add_place(p)
+
+    for line in graph_lines:
+        tokens = line.split()
+        src, dsts = tokens[0], tokens[1:]
+        if _is_transition(src):
+            t = stg.add_transition(StgTransition.parse(src))
+            for d in dsts:
+                if _is_transition(d):
+                    stg.connect(t, StgTransition.parse(d))
+                else:
+                    stg.arc_tp(t, d)
+        else:
+            for d in dsts:
+                if not _is_transition(d):
+                    raise StgError(f"place-to-place arc {src!r} -> {d!r}")
+                stg.arc_pt(src, StgTransition.parse(d))
+
+    for tok in marking_tokens:
+        if tok.startswith("<"):
+            inner = tok.strip("<>")
+            a, b = inner.split(",")
+            stg.mark_between(a.strip(), b.strip())
+        else:
+            stg.mark(tok)
+    for sig, val in initial_values.items():
+        stg.set_initial_value(sig, val)
+    return stg
+
+
+def _split_marking(body: str) -> list[str]:
+    """Split a marking body into tokens, keeping ``<a+,b+>`` together."""
+    tokens = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "<":
+            j = body.index(">", i)
+            tokens.append(body[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < len(body) and not body[j].isspace():
+                j += 1
+            tokens.append(body[i:j])
+            i = j
+    return tokens
+
+
+def write_g(stg: Stg) -> str:
+    """Serialize an STG back to ``.g`` text."""
+    lines = [f".model {stg.name}"]
+    if stg.input_signals:
+        lines.append(".inputs " + " ".join(stg.input_signals))
+    if stg.output_signals:
+        lines.append(".outputs " + " ".join(stg.output_signals))
+    if stg.internal_signals:
+        lines.append(".internal " + " ".join(stg.internal_signals))
+    lines.append(".graph")
+    for t in stg.transitions:
+        direct: list[str] = []
+        for p in sorted(stg.post[t]):
+            if p.startswith("<"):
+                direct.extend(str(u) for u in sorted(stg.place_post[p], key=str))
+            else:
+                direct.append(p)
+        if direct:
+            lines.append(f"{t} " + " ".join(direct))
+    # explicit place arcs
+    for p in sorted(stg.place_pre):
+        if p.startswith("<"):
+            continue
+        posts = sorted(stg.place_post[p], key=str)
+        if posts:
+            lines.append(f"{p} " + " ".join(str(u) for u in posts))
+    marking = []
+    for p in sorted(stg.initial_marking):
+        marking.append(p)
+    lines.append(".marking { " + " ".join(marking) + " }")
+    if stg.initial_values:
+        lines.append(
+            ".initial " + " ".join(f"{s}={v}" for s, v in sorted(stg.initial_values.items()))
+        )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,120 @@
+"""Token-flow reachability: elaborate an STG into its state graph.
+
+Each reachable (marking, signal-vector) pair becomes one SG state; the
+SG arcs are the enabled net transitions.  Two markings with equal
+signal vectors stay distinct SG states — exactly the situation the CSC
+property (Definition 1) talks about.
+
+Initial signal values are taken from explicit declarations when given,
+otherwise inferred from the net: a signal whose first transition along
+every firing path is ``x+`` starts at 0, one whose first is ``x-``
+starts at 1.  Contradictory evidence (some path sees ``x+`` first,
+another ``x-``) is reported as an inconsistency.
+"""
+
+from __future__ import annotations
+
+from ..sg.graph import StateGraph, Transition
+from .petrinet import Stg, StgError
+
+__all__ = ["infer_initial_values", "elaborate", "ElaborationError"]
+
+
+class ElaborationError(StgError):
+    """Raised when the STG has no consistent state-graph semantics."""
+
+
+def infer_initial_values(stg: Stg, max_markings: int = 200000) -> dict[str, int]:
+    """Infer each signal's initial value from first-transition polarity.
+
+    Explores markings (ignoring signal values) recording, per signal,
+    which polarity can occur first.  Mixed first polarities mean the
+    STG has no consistent coding from any initial vector.
+    """
+    values = dict(stg.initial_values)
+    # first polarity seen per signal along each path
+    first: dict[str, set[int]] = {s: set() for s in stg.signals}
+    m0 = frozenset(stg.initial_marking)
+    # state: (marking, frozenset of signals already transitioned)
+    seen: set[tuple[frozenset[str], frozenset[str]]] = set()
+    stack: list[tuple[frozenset[str], frozenset[str]]] = [(m0, frozenset())]
+    seen.add((m0, frozenset()))
+    while stack:
+        marking, done = stack.pop()
+        if len(seen) > max_markings:
+            raise ElaborationError("initial-value inference exceeded marking budget")
+        for t in stg.enabled(marking):
+            if t.signal not in done:
+                first[t.signal].add(t.direction)
+            nxt = (stg.fire(marking, t), done | {t.signal})
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    for s in stg.signals:
+        if s in values:
+            continue
+        pol = first[s]
+        if not pol:
+            values[s] = 0  # signal never transitions: constant 0
+        elif pol == {1}:
+            values[s] = 0
+        elif pol == {-1}:
+            values[s] = 1
+        else:
+            raise ElaborationError(
+                f"signal {s!r} has mixed first-transition polarity; "
+                "declare its initial value explicitly"
+            )
+    return values
+
+
+def elaborate(stg: Stg, max_states: int = 200000) -> StateGraph:
+    """Build the state graph of an STG by token flow.
+
+    Raises :class:`ElaborationError` on unsafe nets, inconsistent
+    codings (``x+`` enabled while ``x = 1``) or state explosion beyond
+    ``max_states``.
+    """
+    values = infer_initial_values(stg)
+    signals = stg.signals
+    sig_index = {s: i for i, s in enumerate(signals)}
+    sg = StateGraph(signals, stg.input_signals)
+
+    def vector_code(vec: dict[str, int]) -> int:
+        code = 0
+        for s, v in vec.items():
+            code |= v << sig_index[s]
+        return code
+
+    m0 = frozenset(stg.initial_marking)
+    init_code = vector_code(values)
+    start = (m0, init_code)
+    sg.add_state(start, init_code)
+    sg.set_initial(start)
+    stack = [start]
+    visited = {start}
+    while stack:
+        marking, code = state = stack.pop()
+        for t in stg.enabled(marking):
+            idx = sig_index[t.signal]
+            cur = (code >> idx) & 1
+            if t.rising and cur == 1:
+                raise ElaborationError(
+                    f"inconsistent STG: {t} enabled while {t.signal}=1"
+                )
+            if not t.rising and cur == 0:
+                raise ElaborationError(
+                    f"inconsistent STG: {t} enabled while {t.signal}=0"
+                )
+            new_code = code ^ (1 << idx)
+            nxt = (stg.fire(marking, t), new_code)
+            if nxt not in visited:
+                if len(visited) >= max_states:
+                    raise ElaborationError("state graph exceeded max_states")
+                visited.add(nxt)
+                sg.add_state(nxt, new_code)
+                stack.append(nxt)
+            else:
+                sg.add_state(nxt, new_code)
+            sg.add_arc(state, Transition(idx, t.direction), nxt)
+    return sg

@@ -1,0 +1,70 @@
+"""Shared fixtures: canonical specifications used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sg import SGBuilder, StateGraph
+from repro.stg import elaborate, parse_g
+
+C_ELEMENT_G = """
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+XYZ_RING_G = """
+.model xyz
+.inputs x
+.outputs y z
+.graph
+x+ y+
+y+ z+
+z+ x-
+x- y-
+y- z-
+z- x+
+.marking { <z-,x+> }
+.end
+"""
+
+
+@pytest.fixture()
+def celem_sg() -> StateGraph:
+    """The Muller C-element SG (8 states, distributive)."""
+    return elaborate(parse_g(C_ELEMENT_G))
+
+
+@pytest.fixture()
+def xyz_sg() -> StateGraph:
+    """A simple sequential ring (6 states)."""
+    return elaborate(parse_g(XYZ_RING_G))
+
+
+@pytest.fixture()
+def handshake_sg() -> StateGraph:
+    """Four-phase handshake ``+r +y -r -y`` (4 states)."""
+    b = SGBuilder(["r", "y"], ["r"])
+    b.arc("00", "+r", "10")
+    b.arc("10", "+y", "11")
+    b.arc("11", "-r", "01")
+    b.arc("01", "-y", "00")
+    b.initial("00")
+    return b.build()
+
+
+@pytest.fixture()
+def or_element_sg() -> StateGraph:
+    """Non-distributive OR-rise / AND-fall element (CSC holds)."""
+    from repro.bench.circuits import figure1_csc_sg
+
+    return figure1_csc_sg()

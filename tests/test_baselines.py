@@ -1,0 +1,160 @@
+"""Tests for the SIS/Lavagno, SYN/Beerel and complex-gate baselines."""
+
+import pytest
+
+from repro.baselines import (
+    NotDistributiveError,
+    add_hazard_cover_cubes,
+    function_hazard_states,
+    next_state_function,
+    static_one_hazard_pairs,
+    synthesize_beerel,
+    synthesize_complex_gate,
+    synthesize_lavagno,
+)
+from repro.bench.circuits import figure1_csc_sg, figure1_sg
+from repro.logic import covers_cube, minimize
+from repro.netlist import GateType
+from repro.stg import elaborate
+from repro.bench.circuits.handshakes import fork_join, muller_pipeline
+
+
+class TestNextStateFunction:
+    def test_celem_majority(self, celem_sg):
+        c = celem_sg.signal_index("c")
+        spec = next_state_function(celem_sg, c)
+        cover = minimize(spec.on, spec.dc, spec.off)
+        # the C-element's next-state function is the majority function
+        for m, want in [(0b011, 1), (0b111, 1), (0b101, 1), (0b000, 0), (0b100, 0)]:
+            assert cover.contains_minterm(m) == bool(want)
+
+    def test_on_off_partition(self, celem_sg, xyz_sg):
+        for sg in (celem_sg, xyz_sg):
+            for a in sg.non_inputs:
+                spec = next_state_function(sg, a)
+                assert not spec.on_states & spec.off_states
+                assert spec.on_states | spec.off_states == set(sg.states())
+
+
+class TestHazardCovers:
+    def test_static_pairs_detected(self, celem_sg):
+        c = celem_sg.signal_index("c")
+        spec = next_state_function(celem_sg, c)
+        pairs = static_one_hazard_pairs(celem_sg, spec)
+        assert pairs  # e.g. 111 -> 011 keeps f=1 while a falls
+
+    def test_hazard_cover_fixes_all_pairs(self, celem_sg):
+        c = celem_sg.signal_index("c")
+        spec = next_state_function(celem_sg, c)
+        cover = minimize(spec.on, spec.dc, spec.off)
+        fixed, added = add_hazard_cover_cubes(celem_sg, spec, cover)
+        for s, d in static_one_hazard_pairs(celem_sg, spec):
+            from repro.logic import Cube
+
+            pair = Cube.from_minterm(celem_sg.code(s), celem_sg.num_signals).supercube(
+                Cube.from_minterm(celem_sg.code(d), celem_sg.num_signals)
+            )
+            assert any(cu.contains(pair) for cu in fixed.cubes)
+
+    def test_function_hazards_on_concurrent_spec(self):
+        sg = elaborate(muller_pipeline(3))
+        exposed = 0
+        for a in sg.non_inputs:
+            spec = next_state_function(sg, a)
+            exposed += len(function_hazard_states(sg, spec))
+        assert exposed > 0
+
+    def test_no_function_hazards_on_sequential_spec(self, xyz_sg):
+        for a in xyz_sg.non_inputs:
+            spec = next_state_function(xyz_sg, a)
+            assert function_hazard_states(xyz_sg, spec) == []
+
+
+class TestLavagno:
+    def test_rejects_nondistributive(self):
+        with pytest.raises(NotDistributiveError):
+            synthesize_lavagno(figure1_csc_sg())
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            synthesize_lavagno(figure1_sg())
+
+    def test_sequential_circuit_unpadded(self, xyz_sg):
+        res = synthesize_lavagno(xyz_sg)
+        assert res.delay_lines_inserted == 0
+        assert res.netlist.validate() == []
+
+    def test_concurrent_circuit_padded(self):
+        sg = elaborate(muller_pipeline(3))
+        res = synthesize_lavagno(sg)
+        assert res.delay_lines_inserted > 0
+        pads = [g for g in res.netlist.gates if g.type == GateType.DELAY]
+        assert len(pads) == res.delay_lines_inserted
+        assert all(g.attrs.get("cut") for g in pads)
+
+    def test_padding_slows_critical_path(self):
+        sg = elaborate(muller_pipeline(3))
+        padded = synthesize_lavagno(sg).stats().delay
+        unpadded = synthesize_lavagno(sg, pad_levels=0).stats().delay
+        assert padded > unpadded
+
+    def test_no_storage_elements(self, celem_sg):
+        res = synthesize_lavagno(celem_sg)
+        assert not res.netlist.sequential_gates()
+
+
+class TestBeerel:
+    def test_rejects_nondistributive(self):
+        with pytest.raises(NotDistributiveError):
+            synthesize_beerel(figure1_csc_sg())
+
+    def test_monotonous_cubes_cover_ers(self, celem_sg):
+        from repro.sg import signal_regions
+
+        res = synthesize_beerel(celem_sg)
+        c = celem_sg.signal_index("c")
+        sr = signal_regions(celem_sg, c)
+        for kind, direction in (("set", 1), ("reset", -1)):
+            cover = res.covers[(c, kind)]
+            for er in sr.excitation:
+                if er.direction != direction:
+                    continue
+                for s in er.states:
+                    assert cover.contains_minterm(celem_sg.code(s))
+
+    def test_one_latch_per_signal(self, celem_sg, xyz_sg):
+        for sg in (celem_sg, xyz_sg):
+            res = synthesize_beerel(sg)
+            latches = [g for g in res.netlist.gates if g.type == GateType.RSLATCH]
+            assert len(latches) == len(sg.non_inputs)
+
+    def test_structure_valid(self, celem_sg):
+        res = synthesize_beerel(celem_sg)
+        assert res.netlist.validate() == []
+
+    def test_latch_two_level_delay_model(self, celem_sg):
+        # plane (1) + ack (1) + latch (2 levels) = 4.8 max for this SG
+        res = synthesize_beerel(celem_sg)
+        assert res.stats().delay == pytest.approx(4.8)
+
+
+class TestComplexGate:
+    def test_one_gate_per_signal(self, celem_sg):
+        res = synthesize_complex_gate(celem_sg)
+        assert len(res.netlist.gates) == len(celem_sg.non_inputs)
+
+    def test_single_level_delay(self, celem_sg):
+        res = synthesize_complex_gate(celem_sg)
+        assert res.stats().delay == pytest.approx(1.2)
+
+    def test_handles_nondistributive(self):
+        # the complex-gate model has no distributivity restriction
+        res = synthesize_complex_gate(figure1_csc_sg())
+        assert res.netlist.gates
+
+    def test_area_smallest_of_all_flows(self, celem_sg):
+        from repro.core import synthesize
+
+        cg = synthesize_complex_gate(celem_sg).stats().area
+        ours = synthesize(celem_sg).stats().area
+        assert cg < ours

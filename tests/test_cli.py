@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+CELEM_G = """
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+ORELEM_LIKE_G = """
+.model seq
+.inputs r
+.outputs y
+.graph
+r+ y+
+y+ r-
+r- y-
+y- r+
+.marking { <y-,r+> }
+.end
+"""
+
+
+@pytest.fixture()
+def gfile(tmp_path) -> pathlib.Path:
+    p = tmp_path / "celem.g"
+    p.write_text(CELEM_G)
+    return p
+
+
+class TestInfo:
+    def test_valid_file(self, gfile, capsys):
+        assert main(["info", str(gfile)]) == 0
+        out = capsys.readouterr().out
+        assert "8 states" in out
+        assert "distributive: True" in out
+        assert "ER(+c)" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent.g"]) == 1
+
+
+class TestSynth:
+    def test_basic(self, gfile, capsys):
+        assert main(["synth", str(gfile)]) == 0
+        out = capsys.readouterr().out
+        assert "N-SHOT circuit" in out
+        assert "no compensation required" in out
+
+    def test_outputs_written(self, gfile, tmp_path, capsys):
+        v = tmp_path / "out.v"
+        pla = tmp_path / "out.pla"
+        assert main(["synth", str(gfile), "-o", str(v), "--pla", str(pla)]) == 0
+        assert "module" in v.read_text()
+        assert ".i 3" in pla.read_text()
+
+    def test_verify_flag(self, gfile, capsys):
+        assert main(["synth", str(gfile), "--verify", "--runs", "2"]) == 0
+        assert "HAZARD-FREE" in capsys.readouterr().out
+
+    def test_exact_method(self, gfile, capsys):
+        assert main(["synth", str(gfile), "--method", "exact"]) == 0
+        assert "method: exact" in capsys.readouterr().out
+
+    def test_spread_changes_eq1(self, gfile, capsys):
+        assert main(["synth", str(gfile), "--spread", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "delay req" in out
+
+
+class TestCompare:
+    def test_all_flows_listed(self, gfile, capsys):
+        assert main(["compare", str(gfile)]) == 0
+        out = capsys.readouterr().out
+        for label in ("SIS/Lavagno", "SYN/Beerel", "Q-module", "N-SHOT"):
+            assert label in out
+
+    def test_nondistributive_failure_codes(self, tmp_path, capsys):
+        # build a non-distributive .g is impossible (safe nets); use the
+        # sequential file and check it synthesizes everywhere instead
+        p = tmp_path / "seq.g"
+        p.write_text(ORELEM_LIKE_G)
+        assert main(["compare", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("/") >= 4  # four area/delay cells
+
+
+class TestTable2:
+    def test_subset(self, capsys):
+        assert main(["table2", "chu172", "pmcm2"]) == 0
+        out = capsys.readouterr().out
+        assert "chu172" in out and "pmcm2" in out
+        assert "(1)" in out           # pmcm2 rejected by the baselines
+        assert "never" in out         # compensation claim

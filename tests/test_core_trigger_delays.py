@@ -1,0 +1,171 @@
+"""Tests for the trigger requirement (Theorem 1) and Equation (1)."""
+
+import pytest
+
+from repro.core import (
+    PlaneTiming,
+    TriggerRequirementError,
+    check_trigger_cubes,
+    compute_delay_requirement,
+    derive_sop_spec,
+    enforce_trigger_cubes,
+    synthesize,
+)
+from repro.logic import Cover, Cube, minimize
+from repro.bench.circuits import figure7b_sg
+from repro.sg import SGBuilder
+
+
+class TestTriggerAudit:
+    def test_single_traversal_always_ok(self, celem_sg):
+        spec = derive_sop_spec(celem_sg)
+        cover = minimize(spec.on, spec.dc, spec.off)
+        for chk in check_trigger_cubes(spec, cover):
+            assert chk.ok
+            assert chk.regions_checked >= 1
+
+    def test_figure7b_natural_cover_ok(self):
+        sg = figure7b_sg()
+        spec = derive_sop_spec(sg)
+        cover = minimize(spec.on, spec.dc, spec.off)
+        assert all(c.ok for c in check_trigger_cubes(spec, cover))
+
+    def test_fragmented_cover_detected(self):
+        """Split the trigger cube on the clock literal: Theorem 1 fails."""
+        sg = figure7b_sg()
+        spec = derive_sop_spec(sg)
+        r = sg.signal_index("r")
+        clk = sg.signal_index("clk")
+        y = sg.signal_index("y")
+        so = spec.output_index(y, "set")
+        ro = spec.output_index(y, "reset")
+        n = sg.num_signals
+
+        def cube(bits: dict, out: int) -> Cube:
+            c = Cube.full(n, 1 << out)
+            for var, val in bits.items():
+                c = c.with_literal(var, 0b10 if val else 0b01)
+            return c
+
+        fragmented = Cover(
+            n,
+            spec.num_outputs,
+            [
+                cube({r: 1, y: 0, clk: 0}, so),
+                cube({r: 1, y: 0, clk: 1}, so),
+                cube({r: 0, y: 1, clk: 0}, ro),
+                cube({r: 0, y: 1, clk: 1}, ro),
+            ],
+        )
+        audits = check_trigger_cubes(spec, fragmented)
+        assert any(not a.ok for a in audits)
+
+        repaired, added = enforce_trigger_cubes(spec, fragmented)
+        assert added >= 1
+        assert all(a.ok for a in check_trigger_cubes(spec, repaired))
+
+    def test_unsatisfiable_trigger_requirement(self):
+        """A two-state trigger region whose supercube hits the OFF-set.
+
+        Free-running input clk toggles inside ER(+y); the states of the
+        trigger region are (r=1, clk=0) and (r=1, clk=1), but here we
+        also give `clk` a *coded companion* `d` so that the supercube
+        over the trigger region covers an OFF point.
+        """
+        # y rises while (clk, d) cycles 00 -> 10 -> 11 -> 01 -> 00; the
+        # trigger region spans codes with (clk,d) in {00,10,11,01}; its
+        # supercube therefore covers everything — including OFF states
+        # where r=1,y=1 … construct so that OFF intersects.
+        b = SGBuilder(["r", "clk", "d", "y"], ["r", "clk", "d"])
+        # quiescent cycle at r=0,y=0
+        gray = ["00", "10", "11", "01"]
+
+        def st(r, cd, y):
+            return f"{r}{cd}{y}"
+
+        for i, cd in enumerate(gray):
+            nxt = gray[(i + 1) % 4]
+            var = "clk" if cd[0] != nxt[0] else "d"
+            sign = "+" if (cd + nxt).count("1") % 2 else "-"
+            # determine polarity by bit change
+            if cd[0] != nxt[0]:
+                sign = "+" if nxt[0] == "1" else "-"
+                tr = sign + "clk"
+            else:
+                sign = "+" if nxt[1] == "1" else "-"
+                tr = sign + "d"
+            b.arc(st(0, cd, 0), tr, st(0, nxt, 0))
+            b.arc(st(1, cd, 0), tr, st(1, nxt, 0))
+            b.arc(st(0, cd, 0), "+r", st(1, cd, 0))
+            b.arc(st(1, cd, 0), "+y", st(1, cd, 1))
+            b.arc(st(1, cd, 1), "-r", st(0, cd, 1))
+            b.arc(st(0, cd, 1), "-y", st(0, cd, 0))
+        b.initial(st(0, "00", 0))
+        sg = b.build()
+        # sanity: this SG is unusual — y's trigger region spans all four
+        # (clk,d) phases, but ER(-y) uses the same (clk,d) space with
+        # r=0: supercube(TR(+y)) = (r=1, y=0, clk/d free) stays clear of
+        # the OFF set, so enforcement succeeds here.  Force the failure
+        # by shrinking the allowed space: drop y's DC by making one
+        # (r=1, y=0) code an OFF point of set_y via a *reset* arc there.
+        spec = derive_sop_spec(sg)
+        y = sg.signal_index("y")
+        so = spec.output_index(y, "set")
+        # empty cover: every trigger region is uncovered
+        empty = Cover(sg.num_signals, spec.num_outputs, [])
+        # inject an artificial OFF cube overlapping the TR supercube
+        bad_off = Cube.full(sg.num_signals, 1 << so).with_literal(
+            sg.signal_index("r"), 0b10
+        ).with_literal(y, 0b01).with_literal(sg.signal_index("clk"), 0b01)
+        spec.off.add(bad_off)
+        with pytest.raises(TriggerRequirementError):
+            enforce_trigger_cubes(spec, empty)
+
+
+class TestDelayRequirement:
+    def test_balanced_planes_no_compensation(self):
+        req = compute_delay_requirement(
+            "x", PlaneTiming(2, 1), PlaneTiming(2, 1), mhs_tau=1.2
+        )
+        assert not req.compensation_required
+        assert req.t_del == 0.0
+
+    def test_skewed_planes_need_delay(self):
+        req = compute_delay_requirement(
+            "x", PlaneTiming(5, 1), PlaneTiming(1, 1), mhs_tau=1.2
+        )
+        # t_set0_w=6.0, t_res1_f=1.2, t_mhs=1.2 -> 3.6 > 0
+        assert req.compensation_required
+        assert req.t_del == pytest.approx(3.6)
+
+    def test_margin_increases_requirement(self):
+        base = compute_delay_requirement(
+            "x", PlaneTiming(3, 1), PlaneTiming(1, 1), mhs_tau=1.2
+        )
+        wide = compute_delay_requirement(
+            "x", PlaneTiming(3, 1), PlaneTiming(1, 1), mhs_tau=1.2, spread=0.5
+        )
+        assert wide.t_del > base.t_del
+
+    def test_describe(self):
+        req = compute_delay_requirement(
+            "sig", PlaneTiming(2, 2), PlaneTiming(2, 2)
+        )
+        assert "sig" in req.describe()
+        assert "no compensation" in req.describe()
+
+    def test_paper_claim_no_compensation_on_suite(self, celem_sg, or_element_sg):
+        """'delay compensation … was never required' (Section V)."""
+        for sg in (celem_sg, or_element_sg, figure7b_sg()):
+            circuit = synthesize(sg)
+            assert not circuit.compensation_required
+
+    def test_forced_compensation_inserts_delay_line(self, celem_sg):
+        """With a huge delay uncertainty Equation (1) goes positive and
+        the architecture inserts the parallel delay line."""
+        circuit = synthesize(celem_sg, delay_spread=0.9)
+        if circuit.compensation_required:
+            from repro.netlist import GateType
+
+            delays = [g for g in circuit.netlist.gates if g.type == GateType.DELAY]
+            assert delays

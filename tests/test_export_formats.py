@@ -1,0 +1,111 @@
+"""Tests for VCD export, DOT export and the Figure 5 structural cell."""
+
+import pytest
+
+from repro.bench.circuits import figure1_csc_sg
+from repro.core import synthesize
+from repro.netlist import build_mhs_cell
+from repro.sg import netlist_to_dot, sg_to_dot, signal_regions
+from repro.sim import SGEnvironment, SimConfig, Simulator, TraceSet, write_vcd
+
+
+class TestVcd:
+    def _traces(self) -> tuple:
+        sg = figure1_csc_sg()
+        circuit = synthesize(sg, delay_spread=0.45)
+        sim = Simulator(circuit.netlist, SimConfig(jitter=0.45, seed=3))
+        env = SGEnvironment(sg, sim, seed=3)
+        env.run(max_time=200.0, max_transitions=20)
+        return sim.traces, circuit
+
+    def test_header_and_definitions(self):
+        traces, _ = self._traces()
+        vcd = write_vcd(traces, nets=["a", "b", "c"])
+        assert "$timescale 1ps $end" in vcd
+        assert vcd.count("$var wire 1") == 3
+        assert "$enddefinitions $end" in vcd
+
+    def test_initial_dump_and_changes(self):
+        traces, _ = self._traces()
+        vcd = write_vcd(traces, nets=["c"])
+        assert "$dumpvars" in vcd
+        # the output transitions at least once -> at least one timestamp
+        assert "#" in vcd
+
+    def test_times_sorted(self):
+        traces, _ = self._traces()
+        vcd = write_vcd(traces)
+        times = [int(l[1:]) for l in vcd.splitlines() if l.startswith("#")]
+        assert times == sorted(times)
+
+    def test_unknown_net_defaults_low(self):
+        ts = TraceSet()
+        ts.record("x", 0.0, 1)
+        vcd = write_vcd(ts, nets=["x", "ghost"])
+        assert "$var wire 1" in vcd
+
+    def test_identifier_uniqueness_many_nets(self):
+        ts = TraceSet()
+        names = [f"n{i}" for i in range(200)]
+        for n in names:
+            ts.record(n, 0.0, 0)
+        vcd = write_vcd(ts, nets=names)
+        # "$var wire 1 <id> <name> $end" — the id is field 3
+        codes = [
+            line.split()[3]
+            for line in vcd.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(codes) == len(names)
+        assert len(set(codes)) == len(codes)
+
+
+class TestDot:
+    def test_sg_dot_nodes_and_arcs(self, celem_sg):
+        dot = sg_to_dot(celem_sg, title="celem")
+        assert dot.count("->") >= celem_sg.num_states  # cyclic SG
+        assert "1*1*1" in dot or "110*" in dot
+        assert 'label="celem"' in dot
+
+    def test_region_coloring(self, celem_sg):
+        c = celem_sg.signal_index("c")
+        regions = signal_regions(celem_sg, c)
+        dot = sg_to_dot(celem_sg, regions.excitation + regions.quiescent)
+        assert "fillcolor" in dot
+
+    def test_initial_state_highlighted(self, celem_sg):
+        assert "penwidth=2" in sg_to_dot(celem_sg)
+
+    def test_netlist_dot(self, celem_sg):
+        circuit = synthesize(celem_sg)
+        dot = netlist_to_dot(circuit.netlist, title="fig3")
+        assert "mhs_c" in dot
+        assert "box3d" in dot          # the flip-flop shape
+        assert "doublecircle" in dot   # output port
+
+    def test_inverted_pins_dashed(self, celem_sg):
+        circuit = synthesize(celem_sg)
+        dot = netlist_to_dot(circuit.netlist)
+        assert "style=dashed" in dot   # the reset plane's input bubbles
+
+
+class TestMhsCell:
+    def test_structure(self):
+        cell = build_mhs_cell()
+        assert cell.validate() == []
+        stages = [g.attrs.get("stage") for g in cell.gates]
+        assert stages == ["master", "filter", "filter", "slave"]
+
+    def test_filter_marked_degenerated(self):
+        cell = build_mhs_cell()
+        filters = [g for g in cell.gates if g.attrs.get("stage") == "filter"]
+        assert all(g.attrs.get("degenerated") for g in filters)
+
+    def test_signal_flow_master_to_slave(self):
+        cell = build_mhs_cell()
+        slave = next(g for g in cell.gates if g.name == "slave")
+        assert {p.net for p in slave.inputs} == {"slave_set", "slave_reset"}
+        fs = cell.driver("slave_set")
+        assert fs is not None and fs.attrs.get("stage") == "filter"
+        master = cell.driver(fs.inputs[0].net)
+        assert master is not None and master.attrs.get("stage") == "master"

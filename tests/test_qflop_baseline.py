@@ -1,0 +1,62 @@
+"""Tests for the Q-module baseline ([9]) and its Section II cost claims."""
+
+import pytest
+
+from repro.baselines import synthesize_qmodule
+from repro.bench.circuits import figure1_csc_sg
+from repro.core import synthesize
+from repro.netlist import GateType
+
+
+class TestStructure:
+    def test_qflop_per_input_and_feedback(self, celem_sg):
+        res = synthesize_qmodule(celem_sg)
+        qflops = [g for g in res.netlist.gates if g.type == GateType.QFLOP]
+        assert len(qflops) == celem_sg.num_signals
+        assert res.num_qflops == celem_sg.num_signals
+
+    def test_rendezvous_tree_size(self, celem_sg, xyz_sg):
+        for sg in (celem_sg, xyz_sg):
+            res = synthesize_qmodule(sg)
+            cels = [g for g in res.netlist.gates if g.type == GateType.CEL]
+            assert len(cels) == sg.num_signals - 1
+            assert res.rendezvous_cells == sg.num_signals - 1
+
+    def test_clock_delay_line_present(self, celem_sg):
+        res = synthesize_qmodule(celem_sg)
+        clk = [g for g in res.netlist.gates if g.attrs.get("clock")]
+        assert len(clk) == 1
+        assert clk[0].type == GateType.DELAY
+        assert clk[0].delay == res.clock_delay_line
+        assert res.clock_delay_line >= 1.2
+
+    def test_netlist_structurally_valid(self, celem_sg):
+        res = synthesize_qmodule(celem_sg)
+        assert res.netlist.validate() == []
+
+    def test_handles_nondistributive(self):
+        # no distributivity restriction, unlike SIS/SYN
+        res = synthesize_qmodule(figure1_csc_sg())
+        assert res.netlist.gates
+
+
+class TestSectionIIClaims:
+    def test_more_memory_elements_than_nshot(self, celem_sg):
+        q = synthesize_qmodule(celem_sg)
+        ours = synthesize(celem_sg)
+        assert q.num_qflops > len(ours.netlist.sequential_gates())
+
+    @pytest.mark.parametrize("maker", ["celem", "orelem"])
+    def test_bigger_and_slower(self, maker, celem_sg):
+        sg = celem_sg if maker == "celem" else figure1_csc_sg()
+        q = synthesize_qmodule(sg)
+        ours = synthesize(sg)
+        assert q.stats().area > ours.stats().area
+        assert q.stats().delay >= ours.stats().delay
+
+    def test_clock_period_grows_with_logic_depth(self):
+        from repro.bench.runner import sg_of
+
+        small = synthesize_qmodule(sg_of("chu172"))
+        big = synthesize_qmodule(sg_of("pe-send-ifc"))
+        assert big.clock_delay_line >= small.clock_delay_line

@@ -1,0 +1,101 @@
+"""Tests for the .sg state-graph file format."""
+
+import pytest
+
+from repro.bench.circuits import figure1_csc_sg, figure7b_sg
+from repro.sg import SGError, parse_sg, validate_for_synthesis, write_sg
+
+HANDSHAKE_SG = """
+.model hs
+.inputs r
+.outputs y
+.state graph
+s0 r+ s1
+s1 y+ s2
+s2 r- s3
+s3 y- s0
+.marking {s0}
+.end
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        sg = parse_sg(HANDSHAKE_SG)
+        assert sg.num_states == 4
+        assert sg.signals == ["r", "y"]
+        assert sg.code(sg.initial) == 0
+        assert validate_for_synthesis(sg).ok
+
+    def test_inferred_initial_values(self):
+        # a falling-first signal starts at 1
+        text = HANDSHAKE_SG.replace("r+ s1", "r- s1").replace(
+            "r- s3", "r+ s3"
+        )
+        sg = parse_sg(text)
+        assert sg.value(sg.initial, sg.signal_index("r")) == 1
+
+    def test_explicit_coding(self):
+        text = HANDSHAKE_SG.replace(
+            ".marking", ".coding s0 00\n.marking"
+        )
+        sg = parse_sg(text)
+        assert sg.code(sg.initial) == 0
+
+    def test_coding_contradiction_detected(self):
+        text = HANDSHAKE_SG.replace(
+            ".marking", ".coding s2 00\n.marking"
+        )
+        with pytest.raises(SGError):
+            parse_sg(text)
+
+    def test_inconsistent_cycle_detected(self):
+        text = """
+        .model bad
+        .inputs a
+        .outputs y
+        .state graph
+        s0 a+ s1
+        s1 y+ s2
+        s2 a+ s0
+        .marking {s0}
+        .end
+        """
+        with pytest.raises(SGError):
+            parse_sg(text)
+
+    def test_bad_label(self):
+        with pytest.raises(SGError):
+            parse_sg(HANDSHAKE_SG.replace("r+ s1", "r* s1"))
+
+    def test_missing_signals(self):
+        with pytest.raises(SGError):
+            parse_sg(".model x\n.state graph\ns0 a+ s1\n.end\n")
+
+    def test_undeclared_signal(self):
+        with pytest.raises(SGError):
+            parse_sg(HANDSHAKE_SG.replace("y+ s2", "z+ s2"))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "maker", [figure1_csc_sg, figure7b_sg], ids=["orelem", "fig7b"]
+    )
+    def test_roundtrip_preserves_structure(self, maker):
+        sg = maker()
+        back = parse_sg(write_sg(sg, "rt"))
+        assert back.num_states == sg.num_states
+        assert back.signals == sg.signals
+        assert validate_for_synthesis(back).ok
+        # same set of state codes and transition labels
+        assert {sg.code(s) for s in sg.states()} == {
+            back.code(s) for s in back.states()
+        }
+
+    def test_roundtrip_synthesis_equivalent(self, celem_sg):
+        from repro.core import synthesize
+
+        back = parse_sg(write_sg(celem_sg, "celem"))
+        a = synthesize(celem_sg).stats()
+        b = synthesize(back).stats()
+        assert (a.area, a.delay) == (b.area, b.delay)

@@ -1,0 +1,91 @@
+"""Tests for STG structural analysis (liveness, safety, choice)."""
+
+import pytest
+
+from repro.bench.circuits import DISTRIBUTIVE_BENCHMARKS
+from repro.bench.circuits.handshakes import choice_server, muller_pipeline, ring
+from repro.stg import Stg, classify, free_choice_conflicts, is_live, is_safe, parse_g
+from tests.conftest import C_ELEMENT_G
+
+
+class TestLiveness:
+    def test_celem_live(self):
+        assert is_live(parse_g(C_ELEMENT_G))
+
+    def test_benchmarks_live(self):
+        for name in ("chu133", "full", "sbuf-send-ctl"):
+            assert is_live(DISTRIBUTIVE_BENCHMARKS[name][0]()), name
+
+    def test_dead_end_not_live(self):
+        stg = Stg(["a"], ["b"])
+        stg.connect("a+", "b+")     # fires once, then dead
+        p = stg.connect("b+", "a-")
+        stg.connect("a-", "b-")
+        # no arc back to a+: acyclic
+        stg.mark_between("b-", "a+") if False else None
+        stg.mark(stg.connect("b-", "a+")) if False else None
+        # mark the initial place of the chain
+        stg.add_place("p0"); stg.arc_pt("p0", "a+"); stg.mark("p0")
+        assert not is_live(stg)
+
+
+class TestSafety:
+    def test_celem_safe(self):
+        assert is_safe(parse_g(C_ELEMENT_G))
+
+    def test_double_marking_unsafe(self):
+        stg = Stg(["a"], ["b"])
+        p1 = stg.connect("a+", "b+")
+        stg.connect("b+", "a-")
+        stg.connect("a-", "b-")
+        p2 = stg.connect("b-", "a+")
+        stg.mark(p2)
+        stg.mark(p1)  # b+ marked ahead of time: firing a+ double-marks p1
+        assert not is_safe(stg)
+
+
+class TestChoice:
+    def test_input_choice_is_fine(self):
+        stg = choice_server(["r1", "r2"], ["g1", "g2"])
+        assert free_choice_conflicts(stg) == []
+
+    def test_output_conflict_flagged(self):
+        # a place feeding two *output* transitions
+        stg = Stg(["a"], ["x", "y"])
+        stg.add_place("p")
+        stg.arc_pt("p", "x+")
+        stg.arc_pt("p", "y+")
+        stg.arc_tp("a+", "p")
+        problems = free_choice_conflicts(stg)
+        assert any("non-input" in p for p in problems)
+
+    def test_non_free_choice_flagged(self):
+        stg = Stg(["a", "b"], ["x"])
+        stg.add_place("p")
+        stg.add_place("q")
+        stg.arc_pt("p", "a+")
+        stg.arc_pt("p", "b+")
+        stg.arc_pt("q", "b+")   # b+ has a bigger preset: not free choice
+        problems = free_choice_conflicts(stg)
+        assert any("not free choice" in p for p in problems)
+
+
+class TestClassify:
+    def test_good_stg(self):
+        report = classify(parse_g(C_ELEMENT_G))
+        assert report.ok
+        assert "well-formed" in report.summary()
+
+    def test_pipelines_and_rings_wellformed(self):
+        for stg in (muller_pipeline(3), ring(["a", "b", "c"], ["a"])):
+            assert classify(stg).ok
+
+    def test_bad_stg_summary(self):
+        stg = Stg(["a"], ["b"])
+        stg.connect("a+", "b+")
+        stg.add_place("p0"); stg.arc_pt("p0", "a+"); stg.mark("p0")
+        stg.connect("b+", "a-")
+        stg.connect("a-", "b-")
+        report = classify(stg)
+        assert not report.ok
+        assert "not live" in report.summary()
