@@ -6,9 +6,13 @@ from .circuits import (
     build_distributive,
     build_nondistributive,
 )
+from .fault_suite import FAULT_SUITE, fault_circuit, fault_circuit_names
 from .runner import BenchmarkRow, run_benchmark, run_table2, sg_of
 
 __all__ = [
+    "FAULT_SUITE",
+    "fault_circuit",
+    "fault_circuit_names",
     "DISTRIBUTIVE_BENCHMARKS",
     "NONDISTRIBUTIVE_BENCHMARKS",
     "build_distributive",

@@ -1,0 +1,110 @@
+"""Named circuit suite for fault-injection campaigns.
+
+The campaign runner (:mod:`repro.faults.campaign`) refers to circuits
+by *name* so that multiprocessing workers can rebuild them locally —
+this module is the registry.  The dedicated suite collects the small
+paper-derived circuits whose closed-loop runs are fast enough for a
+per-fault Monte-Carlo sweep; any Table 2 benchmark name (see
+:func:`repro.bench.runner.sg_of`) also resolves as a fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sg.graph import StateGraph
+from ..stg import elaborate, parse_g
+
+__all__ = ["FAULT_SUITE", "fault_circuit", "fault_circuit_names"]
+
+_C_ELEMENT_G = """
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+def _c_element() -> StateGraph:
+    return elaborate(parse_g(_C_ELEMENT_G))
+
+
+def _xyz_ring() -> StateGraph:
+    from .circuits import ring
+
+    return elaborate(ring(["x", "y", "z"], ["x"], name="xyz"))
+
+
+def _handshake() -> StateGraph:
+    from ..sg import SGBuilder
+
+    b = SGBuilder(["r", "y"], ["r"])
+    b.arc("00", "+r", "10")
+    b.arc("10", "+y", "11")
+    b.arc("11", "-r", "01")
+    b.arc("01", "-y", "00")
+    b.initial("00")
+    return b.build()
+
+
+def _fork_join() -> StateGraph:
+    from .circuits import fork_join
+
+    return elaborate(fork_join("m", ["p", "q"], name="forkjoin"))
+
+
+def _chu150() -> StateGraph:
+    from .circuits import build_distributive
+
+    return elaborate(build_distributive("chu150"))
+
+
+def _pmcm2() -> StateGraph:
+    from .circuits import build_nondistributive
+
+    return build_nondistributive("pmcm2")
+
+
+#: name -> StateGraph builder; keep builders lazy so importing this
+#: module stays cheap for worker processes
+FAULT_SUITE: dict[str, Callable[[], StateGraph]] = {
+    "c_element": _c_element,
+    "xyz_ring": _xyz_ring,
+    "handshake": _handshake,
+    "fork_join": _fork_join,
+    "chu150": _chu150,
+    "pmcm2": _pmcm2,
+}
+
+
+def fault_circuit_names() -> list[str]:
+    """Names of the dedicated campaign suite."""
+    return list(FAULT_SUITE)
+
+
+def fault_circuit(name: str) -> StateGraph:
+    """Resolve a circuit name to its elaborated state graph.
+
+    Dedicated suite names first; otherwise any Table 2 benchmark name
+    is accepted via the benchmark runner's registry.
+    """
+    if name in FAULT_SUITE:
+        return FAULT_SUITE[name]()
+    from .runner import sg_of
+
+    try:
+        return sg_of(name)
+    except KeyError:
+        raise KeyError(
+            f"unknown fault-suite circuit {name!r}; "
+            f"choose from {', '.join(fault_circuit_names())} "
+            "or any Table 2 benchmark name"
+        ) from None

@@ -7,6 +7,7 @@ Mirrors how the paper's compiler was driven::
     python -m repro synth ctrl.g --verify       # + Monte-Carlo check
     python -m repro compare ctrl.g              # all flows, one circuit
     python -m repro table2 [circuit ...]        # regenerate Table 2
+    python -m repro faults --circuit c_element  # fault-injection campaign
 """
 
 from __future__ import annotations
@@ -152,6 +153,46 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .bench import fault_circuit_names
+    from .faults import FaultCampaign, WatchdogLimits
+
+    if args.list:
+        for name in fault_circuit_names():
+            print(name)
+        return 0
+    circuits = args.circuit or fault_circuit_names()
+    from .bench import fault_circuit
+
+    try:
+        for name in circuits:
+            fault_circuit(name)
+    except KeyError as e:
+        print(f"error: {e.args[0]}", file=sys.stderr)
+        return 1
+    campaign = FaultCampaign(
+        circuits=circuits,
+        seeds=args.seeds,
+        jitter=args.jitter,
+        limits=WatchdogLimits(
+            max_events=args.max_events, max_time=args.max_time
+        ),
+    )
+    result = campaign.run(jobs=args.jobs)
+    rendered = result.render_text() if args.text else result.render_json()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered + "\n")
+        print(f"wrote {args.output}")
+        if args.text:
+            print(rendered)
+    else:
+        print(rendered)
+    if not result.baseline_ok:
+        return 2  # golden runs flagged: the oracle itself is suspect
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +230,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2 = sub.add_parser("table2", help="regenerate Table 2")
     p_t2.add_argument("circuits", nargs="*", help="subset of benchmark names")
     p_t2.set_defaults(func=cmd_table2)
+
+    p_f = sub.add_parser(
+        "faults", help="run a fault-injection campaign (JSON report)"
+    )
+    p_f.add_argument(
+        "--circuit",
+        action="append",
+        help="fault-suite circuit name (repeatable; default: whole suite)",
+    )
+    p_f.add_argument(
+        "--seeds", type=int, default=8, help="Monte-Carlo seeds per fault"
+    )
+    p_f.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep"
+    )
+    p_f.add_argument(
+        "--jitter",
+        type=float,
+        default=0.3,
+        help="relative delay spread (circuits are synthesized for it)",
+    )
+    p_f.add_argument(
+        "--max-events",
+        type=int,
+        default=100_000,
+        help="per-point simulator event budget (livelock watchdog)",
+    )
+    p_f.add_argument(
+        "--max-time",
+        type=float,
+        default=1200.0,
+        help="per-point simulated-time budget in ns",
+    )
+    p_f.add_argument(
+        "--text", action="store_true", help="human-readable report instead of JSON"
+    )
+    p_f.add_argument("-o", "--output", help="write the report to a file")
+    p_f.add_argument(
+        "--list", action="store_true", help="list fault-suite circuit names"
+    )
+    p_f.set_defaults(func=cmd_faults)
     return parser
 
 
@@ -200,6 +282,8 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
+    except BrokenPipeError:  # e.g. `repro faults | head`
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,7 +25,13 @@ from .delays import PlaneTiming, DelayRequirement, compute_delay_requirement
 from .architecture import ArchitectureResult, build_nshot_netlist
 from .initialization import InitDecision, analyze_initialization
 from .synthesizer import NShotCircuit, SynthesisError, synthesize
-from .verify import VerificationRun, VerificationSummary, verify_hazard_freeness
+from .verify import (
+    OracleVerdict,
+    VerificationRun,
+    VerificationSummary,
+    run_oracle,
+    verify_hazard_freeness,
+)
 from .report import format_mode_table, format_results_table
 
 __all__ = [
@@ -48,8 +54,10 @@ __all__ = [
     "NShotCircuit",
     "SynthesisError",
     "synthesize",
+    "OracleVerdict",
     "VerificationRun",
     "VerificationSummary",
+    "run_oracle",
     "verify_hazard_freeness",
     "format_mode_table",
     "format_results_table",

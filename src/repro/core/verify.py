@@ -14,17 +14,169 @@ delays.  Per Theorem 2, a correct N-SHOT circuit must
 Internal SOP nets are *expected* to glitch; the verification reports
 how much they did, demonstrating the paper's core claim: internal
 hazards, externally hazard-free.
+
+:func:`run_oracle` is the single-run core used by both the Monte-Carlo
+sweep and the fault campaign: it never raises — a crashing or
+livelocking simulation becomes a structured :class:`OracleVerdict`
+(``timeout`` / ``error``) instead of an exception, so a sweep over
+thousands of (circuit × fault × seed) points degrades gracefully.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..sim import SGEnvironment, SimConfig, Simulator, analyze_hazards
+from ..netlist.netlist import Netlist
+from ..sg.graph import StateGraph
+from ..sim import (
+    SGEnvironment,
+    SimConfig,
+    SimulationError,
+    SimulationLimitError,
+    Simulator,
+    analyze_hazards,
+)
 from ..sim.hazards import HazardReport
 from .synthesizer import NShotCircuit
 
-__all__ = ["VerificationRun", "VerificationSummary", "verify_hazard_freeness"]
+__all__ = [
+    "OracleVerdict",
+    "VerificationRun",
+    "VerificationSummary",
+    "run_oracle",
+    "verify_hazard_freeness",
+]
+
+
+@dataclass
+class OracleVerdict:
+    """Structured outcome of one closed-loop oracle run.
+
+    ``status`` is one of:
+
+    * ``"clean"`` — the run completed and conformed to the SG with no
+      observable hazards;
+    * ``"violation"`` — the run completed but the oracle found
+      conformance/progress/MHS errors or observable glitch pulses;
+    * ``"timeout"`` — a watchdog budget tripped
+      (:class:`~repro.sim.SimulationLimitError`): the circuit
+      livelocked or ran away;
+    * ``"error"`` — the simulation itself failed
+      (:class:`~repro.sim.SimulationError` or an unexpected exception).
+    """
+
+    status: str
+    seed: int
+    errors: list[str] = field(default_factory=list)
+    transitions: int = 0
+    internal_glitches: int = 0
+    observable_glitches: int = 0
+    final_time: float = 0.0
+    events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "clean"
+
+    @property
+    def anomalous(self) -> bool:
+        """True for any non-clean outcome (what a fault campaign counts
+        as a *detection* of the injected fault)."""
+        return self.status != "clean"
+
+    def describe(self) -> str:
+        head = f"seed {self.seed}: {self.status}"
+        if self.errors:
+            head += f" ({self.errors[0]}"
+            if len(self.errors) > 1:
+                head += f" +{len(self.errors) - 1} more"
+            head += ")"
+        return head
+
+
+def run_oracle(
+    netlist: Netlist,
+    sg: StateGraph,
+    config: SimConfig,
+    *,
+    env_seed: int | None = None,
+    max_time: float = 2000.0,
+    max_transitions: int = 200,
+    input_delay: tuple[float, float] = (0.1, 6.0),
+    internal_nets: list[str] | None = None,
+    arm=None,
+) -> OracleVerdict:
+    """One closed-loop conformance run, returned as a structured verdict.
+
+    Never raises for in-simulation failures: watchdog trips map to
+    ``timeout`` and simulation errors to ``error`` verdicts, each with
+    the structured diagnostics attached.  ``arm`` is an optional
+    callback invoked with the freshly built :class:`Simulator` before
+    the run starts — the hook transient-fault models use to schedule
+    their mid-traversal injections.
+    """
+    seed = config.seed if config.seed is not None else 0
+    sim = Simulator(netlist, config)
+    env = SGEnvironment(
+        sg,
+        sim,
+        seed=env_seed if env_seed is not None else seed ^ 0x5EED,
+        input_delay=input_delay,
+    )
+    if arm is not None:
+        arm(sim)
+    observable = [sg.signals[a] for a in sg.non_inputs]
+    try:
+        report = env.run(max_time=max_time, max_transitions=max_transitions)
+    except SimulationLimitError as e:
+        return OracleVerdict(
+            status="timeout",
+            seed=seed,
+            errors=[e.describe()],
+            transitions=env.report.transitions_observed,
+            final_time=sim.now,
+            events=sim.events_processed,
+        )
+    except SimulationError as e:
+        return OracleVerdict(
+            status="error",
+            seed=seed,
+            errors=[e.describe()],
+            transitions=env.report.transitions_observed,
+            final_time=sim.now,
+            events=sim.events_processed,
+        )
+    except Exception as e:  # graceful degradation: record, don't abort
+        return OracleVerdict(
+            status="error",
+            seed=seed,
+            errors=[f"{type(e).__name__}: {e}"],
+            transitions=env.report.transitions_observed,
+            final_time=sim.now,
+            events=sim.events_processed,
+        )
+    hazards: HazardReport = analyze_hazards(
+        sim.traces,
+        observable_nets=observable,
+        internal_nets=internal_nets,
+    )
+    errors = report.conformance_errors + report.progress_errors + report.mhs_errors
+    clean = report.ok and hazards.externally_hazard_free
+    return OracleVerdict(
+        status="clean" if clean else "violation",
+        seed=seed,
+        errors=errors
+        + (
+            []
+            if hazards.externally_hazard_free
+            else [f"{hazards.observable_total} observable glitch pulses"]
+        ),
+        transitions=report.transitions_observed,
+        internal_glitches=hazards.internal_total,
+        observable_glitches=hazards.observable_total,
+        final_time=report.final_time,
+        events=sim.events_processed,
+    )
 
 
 @dataclass
@@ -78,12 +230,16 @@ def verify_hazard_freeness(
     max_time: float = 4000.0,
     base_seed: int = 0,
     input_delay: tuple[float, float] = (0.1, 6.0),
+    max_events: int | None = 500_000,
 ) -> VerificationSummary:
     """Monte-Carlo closed-loop verification of a synthesized circuit.
 
     Each run draws fresh per-gate delays (±``jitter`` relative spread)
     and fresh environment timing, then simulates until
     ``max_transitions`` observable transitions or ``max_time`` ns.
+    A run that trips the ``max_events`` watchdog or crashes is recorded
+    as a failing run with the structured diagnostic — the sweep itself
+    never aborts.
 
     ``jitter`` defaults to the delay uncertainty the circuit was
     *designed for* (``circuit.designed_spread``): Theorem 2 guarantees
@@ -95,31 +251,25 @@ def verify_hazard_freeness(
         jitter = circuit.designed_spread
     summary = VerificationSummary()
     sg = circuit.sg
-    observable = [sg.signals[a] for a in sg.non_inputs]
     for k in range(runs):
         seed = base_seed + k
-        sim = Simulator(
+        verdict = run_oracle(
             circuit.netlist,
-            SimConfig(jitter=jitter, seed=seed),
-        )
-        env = SGEnvironment(sg, sim, seed=seed ^ 0x5EED, input_delay=input_delay)
-        report = env.run(max_time=max_time, max_transitions=max_transitions)
-        hazards: HazardReport = analyze_hazards(
-            sim.traces,
-            observable_nets=observable,
+            sg,
+            SimConfig(jitter=jitter, seed=seed, max_events=max_events),
+            max_time=max_time,
+            max_transitions=max_transitions,
+            input_delay=input_delay,
             internal_nets=circuit.architecture.sop_nets,
-        )
-        errors = (
-            report.conformance_errors + report.progress_errors + report.mhs_errors
         )
         summary.runs.append(
             VerificationRun(
                 seed=seed,
-                ok=report.ok and hazards.externally_hazard_free,
-                transitions=report.transitions_observed,
-                internal_glitches=hazards.internal_total,
-                observable_glitches=hazards.observable_total,
-                errors=errors,
+                ok=verdict.ok,
+                transitions=verdict.transitions,
+                internal_glitches=verdict.internal_glitches,
+                observable_glitches=verdict.observable_glitches,
+                errors=verdict.errors,
             )
         )
     return summary

@@ -1,0 +1,43 @@
+"""Fault-injection campaign subsystem.
+
+Robustness evidence for the verification oracle: composable fault
+models (:mod:`~repro.faults.models`), a watchdog-guarded campaign
+runner with multiprocessing fan-out (:mod:`~repro.faults.campaign`),
+and structured JSON/text reporting (:mod:`~repro.faults.report`).
+The oracle's hazard-freeness verdicts are only meaningful because the
+campaign shows they flip on broken circuits.
+"""
+
+from .models import (
+    DeletedAckGateFault,
+    DelayViolationFault,
+    FaultModel,
+    InvertedLiteralFault,
+    OmegaMarginFault,
+    StuckAtFault,
+    SwappedSetResetFault,
+    TransientPulseFault,
+    enumerate_faults,
+    rebuild_netlist,
+)
+from .campaign import FaultCampaign, WatchdogLimits, run_campaign
+from .report import CampaignResult, FaultOutcome, PointRecord
+
+__all__ = [
+    "FaultModel",
+    "StuckAtFault",
+    "InvertedLiteralFault",
+    "SwappedSetResetFault",
+    "DeletedAckGateFault",
+    "TransientPulseFault",
+    "DelayViolationFault",
+    "OmegaMarginFault",
+    "enumerate_faults",
+    "rebuild_netlist",
+    "FaultCampaign",
+    "WatchdogLimits",
+    "run_campaign",
+    "CampaignResult",
+    "FaultOutcome",
+    "PointRecord",
+]

@@ -1,0 +1,311 @@
+"""Fault-injection campaign runner with watchdogs and fan-out.
+
+A :class:`FaultCampaign` enumerates (circuit × fault × seed) points,
+pushes each faulty circuit through the closed-loop verification oracle
+(:func:`repro.core.verify.run_oracle`), and records a structured
+outcome per point.  Design rules:
+
+* **graceful degradation** — a crashing or livelocking simulation is a
+  *recorded outcome* (``error`` / ``timeout``), never a campaign
+  abort; the sweep always completes;
+* **watchdogs** — every point runs under an event-count budget and a
+  simulated-time budget (the :class:`~repro.sim.SimConfig` watchdog
+  added for this subsystem), plus an optional per-point wall-clock
+  alarm; a fault-induced oscillator therefore costs bounded work;
+* **fan-out** — ``jobs > 1`` distributes whole faults (each worker
+  runs that fault's seeds sequentially, stopping early on the first
+  detection) over a ``multiprocessing`` pool; fault models are frozen
+  dataclasses precisely so they pickle.
+
+Circuits are referenced by name through the benchmark fault suite
+(:mod:`repro.bench.fault_suite`) so worker processes can rebuild them
+locally instead of shipping netlists over the pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..core.verify import run_oracle
+from ..sim.simulator import SimConfig
+from .models import FaultModel, enumerate_faults
+from .report import CampaignResult, PointRecord
+
+__all__ = ["WatchdogLimits", "FaultCampaign", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class WatchdogLimits:
+    """Per-point budgets.
+
+    ``max_events`` — simulator event budget (the livelock watchdog);
+    ``max_time`` — simulated-time budget handed to the environment;
+    ``max_transitions`` — observable-transition budget per run;
+    ``wall_clock`` — optional wall-clock seconds per point (SIGALRM,
+    main-thread only; the event budget is the primary guard).
+    """
+
+    max_events: int = 100_000
+    max_time: float = 1200.0
+    max_transitions: int = 80
+    wall_clock: float | None = None
+
+
+class _WallClockTimeout(Exception):
+    """Internal: the SIGALRM per-point guard fired."""
+
+
+@contextmanager
+def _wall_clock_guard(seconds: float | None):
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise _WallClockTimeout()
+
+    old = signal.signal(signal.SIGALRM, _handler)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+# ----------------------------------------------------------------------
+# per-process circuit cache (workers rebuild circuits by name once)
+# ----------------------------------------------------------------------
+_CIRCUIT_CACHE: dict[tuple[str, float], tuple] = {}
+
+
+def _circuit_for(name: str, jitter: float):
+    """(sg, circuit) for a named fault-suite circuit, synthesized for
+    the campaign's delay spread (memoized per process)."""
+    key = (name, jitter)
+    if key not in _CIRCUIT_CACHE:
+        from ..bench.fault_suite import fault_circuit
+        from ..core import synthesize
+
+        sg = fault_circuit(name)
+        circuit = synthesize(sg, name=name, delay_spread=jitter)
+        _CIRCUIT_CACHE[key] = (sg, circuit)
+    return _CIRCUIT_CACHE[key]
+
+
+def _verdict_outcome(status: str) -> str:
+    return {
+        "clean": "undetected",
+        "violation": "detected",
+        "timeout": "timeout",
+        "error": "error",
+    }[status]
+
+
+def _run_unit(payload) -> list[PointRecord]:
+    """Run every seed of one (circuit, fault) unit; never raises."""
+    (name, fault, seeds, jitter, limits, stop_on_detect) = payload
+    golden = fault.kind == "golden"
+    records: list[PointRecord] = []
+    try:
+        sg, circuit = _circuit_for(name, jitter)
+        netlist = fault.apply_netlist(circuit.netlist)
+        internal = circuit.architecture.sop_nets if golden else None
+    except Exception as e:  # fault not applicable / synthesis failure
+        return [
+            PointRecord(
+                circuit=name,
+                fault_kind=fault.kind,
+                fault=fault.describe(),
+                seed=-1,
+                outcome="error",
+                detail=f"fault application failed: {type(e).__name__}: {e}",
+            )
+        ]
+    # golden baselines only need a few seeds of evidence
+    seed_list = range(min(seeds, 3) if golden else seeds)
+    for seed in seed_list:
+        t0 = _time.perf_counter()
+        try:
+            config = fault.apply_config(
+                SimConfig(
+                    jitter=jitter,
+                    seed=seed,
+                    max_events=limits.max_events,
+                    max_sim_time=limits.max_time * 2,
+                )
+            )
+            with _wall_clock_guard(limits.wall_clock):
+                verdict = run_oracle(
+                    netlist,
+                    sg,
+                    config,
+                    max_time=limits.max_time,
+                    max_transitions=limits.max_transitions,
+                    internal_nets=internal,
+                    arm=fault.arm,
+                )
+            outcome = _verdict_outcome(verdict.status)
+            # a faulty circuit that never moves is dead, not conformant
+            if (
+                not golden
+                and outcome == "undetected"
+                and verdict.transitions == 0
+            ):
+                outcome = "detected"
+                detail = "circuit dead: zero observable transitions"
+            else:
+                detail = verdict.errors[0] if verdict.errors else ""
+            records.append(
+                PointRecord(
+                    circuit=name,
+                    fault_kind=fault.kind,
+                    fault=fault.describe(),
+                    seed=seed,
+                    outcome=outcome,
+                    detail=detail,
+                    transitions=verdict.transitions,
+                    events=verdict.events,
+                    runtime=_time.perf_counter() - t0,
+                )
+            )
+        except _WallClockTimeout:
+            records.append(
+                PointRecord(
+                    circuit=name,
+                    fault_kind=fault.kind,
+                    fault=fault.describe(),
+                    seed=seed,
+                    outcome="timeout",
+                    detail=f"wall clock exceeded {limits.wall_clock}s",
+                    runtime=_time.perf_counter() - t0,
+                )
+            )
+        except Exception as e:  # pragma: no cover - last-resort degradation
+            records.append(
+                PointRecord(
+                    circuit=name,
+                    fault_kind=fault.kind,
+                    fault=fault.describe(),
+                    seed=seed,
+                    outcome="error",
+                    detail=f"{type(e).__name__}: {e}",
+                    runtime=_time.perf_counter() - t0,
+                )
+            )
+        if (
+            stop_on_detect
+            and not golden
+            and records[-1].outcome != "undetected"
+        ):
+            break
+    return records
+
+
+@dataclass
+class FaultCampaign:
+    """A sweep of fault models over named benchmark circuits.
+
+    Parameters
+    ----------
+    circuits:
+        Fault-suite circuit names (see
+        :func:`repro.bench.fault_suite.fault_circuit_names`).
+    seeds:
+        Monte-Carlo seeds attempted per fault (a fault stops early on
+        its first detection unless ``stop_on_detect=False``).
+    jitter:
+        Relative delay spread for every run; circuits are synthesized
+        with ``delay_spread=jitter`` so the golden baseline is operated
+        within its designed bounds.
+    faults:
+        Optional explicit fault lists per circuit; by default every
+        applicable fault from :func:`~repro.faults.models.enumerate_faults`.
+    """
+
+    circuits: list[str]
+    seeds: int = 8
+    jitter: float = 0.3
+    limits: WatchdogLimits = field(default_factory=WatchdogLimits)
+    faults: dict[str, list[FaultModel]] | None = None
+    stop_on_detect: bool = True
+    include_seu: bool = True
+    include_omega: bool = True
+    include_golden: bool = True
+
+    def units(self) -> list[tuple[str, FaultModel]]:
+        """The (circuit, fault) work units, golden baselines first."""
+        out: list[tuple[str, FaultModel]] = []
+        for name in self.circuits:
+            if self.include_golden:
+                out.append((name, FaultModel()))
+            if self.faults is not None and name in self.faults:
+                models = list(self.faults[name])
+            else:
+                _, circuit = _circuit_for(name, self.jitter)
+                models = enumerate_faults(
+                    circuit.netlist,
+                    include_seu=self.include_seu,
+                    include_omega=self.include_omega,
+                )
+            out.extend((name, f) for f in models)
+        return out
+
+    def run(self, jobs: int = 1) -> CampaignResult:
+        """Execute the sweep, optionally fanned out over processes."""
+        payloads = [
+            (name, fault, self.seeds, self.jitter, self.limits, self.stop_on_detect)
+            for name, fault in self.units()
+        ]
+        if jobs > 1 and len(payloads) > 1:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                batches = pool.map(_run_unit, payloads)
+        else:
+            batches = [_run_unit(p) for p in payloads]
+        result = CampaignResult(
+            circuits=list(self.circuits),
+            seeds=self.seeds,
+            jitter=self.jitter,
+            limits={
+                "max_events": self.limits.max_events,
+                "max_time": self.limits.max_time,
+                "max_transitions": self.limits.max_transitions,
+                "wall_clock": self.limits.wall_clock,
+            },
+        )
+        for batch in batches:
+            for rec in batch:
+                if rec.fault_kind == "golden":
+                    result.baselines.append(rec)
+                else:
+                    result.records.append(rec)
+        return result
+
+
+def run_campaign(
+    circuits: list[str],
+    seeds: int = 8,
+    jobs: int = 1,
+    jitter: float = 0.3,
+    limits: WatchdogLimits | None = None,
+    **kwargs,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`FaultCampaign`."""
+    campaign = FaultCampaign(
+        circuits=list(circuits),
+        seeds=seeds,
+        jitter=jitter,
+        limits=limits or WatchdogLimits(),
+        **kwargs,
+    )
+    return campaign.run(jobs=jobs)

@@ -1,0 +1,192 @@
+"""Structured results of a fault-injection campaign.
+
+A campaign produces one :class:`PointRecord` per executed
+(circuit × fault × seed) point and aggregates them per fault into
+:class:`FaultOutcome` rows (a fault is *detected* when any seed flags
+it).  :class:`CampaignResult` carries the whole sweep plus the golden
+baseline runs, and renders as JSON (machine-readable, stable schema)
+or text (human-readable table).
+
+Outcome vocabulary, per point:
+
+* ``detected`` — the oracle reported conformance/progress/MHS
+  violations or observable glitches;
+* ``undetected`` — the faulty circuit still conformed on this seed;
+* ``timeout`` — a watchdog budget tripped (event count, simulated
+  time, or wall clock): the fault livelocked the circuit;
+* ``error`` — the simulation crashed (structured
+  :class:`~repro.sim.SimulationError` or an unexpected exception).
+
+For coverage purposes ``timeout`` and ``error`` count as detections:
+a fault that livelocks or crashes the simulation has visibly broken
+the circuit — the watchdog turning that into a recorded outcome
+instead of a hung campaign is exactly the graceful degradation this
+subsystem exists for.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["PointRecord", "FaultOutcome", "CampaignResult", "OUTCOMES"]
+
+OUTCOMES = ("detected", "undetected", "timeout", "error")
+
+#: aggregation priority: the "strongest" per-seed outcome labels the fault
+_RANK = {"detected": 3, "timeout": 2, "error": 1, "undetected": 0}
+
+
+@dataclass
+class PointRecord:
+    """One executed (circuit × fault × seed) point."""
+
+    circuit: str
+    fault_kind: str
+    fault: str
+    seed: int
+    outcome: str
+    detail: str = ""
+    transitions: int = 0
+    events: int = 0
+    runtime: float = 0.0
+
+
+@dataclass
+class FaultOutcome:
+    """Per-fault aggregate across all seeds that ran."""
+
+    circuit: str
+    fault_kind: str
+    fault: str
+    outcome: str
+    seeds_run: int
+    detail: str = ""
+
+    @property
+    def covered(self) -> bool:
+        return self.outcome != "undetected"
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    records: list[PointRecord] = field(default_factory=list)
+    baselines: list[PointRecord] = field(default_factory=list)
+    circuits: list[str] = field(default_factory=list)
+    seeds: int = 0
+    jitter: float = 0.0
+    limits: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def fault_outcomes(self) -> list[FaultOutcome]:
+        """One row per (circuit, fault), strongest outcome across seeds."""
+        grouped: dict[tuple[str, str], list[PointRecord]] = {}
+        for r in self.records:
+            grouped.setdefault((r.circuit, r.fault), []).append(r)
+        out = []
+        for (circuit, fault), recs in grouped.items():
+            best = max(recs, key=lambda r: _RANK.get(r.outcome, -1))
+            out.append(
+                FaultOutcome(
+                    circuit=circuit,
+                    fault_kind=best.fault_kind,
+                    fault=fault,
+                    outcome=best.outcome,
+                    seeds_run=len(recs),
+                    detail=best.detail,
+                )
+            )
+        return out
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Per-fault (not per-seed) outcome histogram."""
+        counts = {k: 0 for k in OUTCOMES}
+        for fo in self.fault_outcomes():
+            counts[fo.outcome] = counts.get(fo.outcome, 0) + 1
+        return counts
+
+    @property
+    def num_faults(self) -> int:
+        return len({(r.circuit, r.fault) for r in self.records})
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of faults detected (violation, timeout, or crash)."""
+        outcomes = self.fault_outcomes()
+        if not outcomes:
+            return 0.0
+        return sum(1 for fo in outcomes if fo.covered) / len(outcomes)
+
+    @property
+    def baseline_ok(self) -> bool:
+        """True when every golden (fault-free) run was clean — the
+        soundness half of the oracle evidence."""
+        return all(r.outcome == "undetected" for r in self.baselines)
+
+    def undetected(self) -> list[FaultOutcome]:
+        return [fo for fo in self.fault_outcomes() if not fo.covered]
+
+    # ------------------------------------------------------------------
+    # renderers
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Stable machine-readable schema (documented in
+        docs/ARCHITECTURE.md, "Fault injection & robustness")."""
+        counts = self.outcome_counts()
+        return {
+            "schema": "repro-fault-campaign/1",
+            "circuits": self.circuits,
+            "seeds": self.seeds,
+            "jitter": self.jitter,
+            "limits": self.limits,
+            "num_faults": self.num_faults,
+            "num_points": len(self.records),
+            "coverage": round(self.coverage, 4),
+            "baseline_ok": self.baseline_ok,
+            "outcomes": counts,
+            "faults": [asdict(fo) for fo in self.fault_outcomes()],
+            "points": [asdict(r) for r in self.records],
+            "baselines": [asdict(r) for r in self.baselines],
+        }
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)
+
+    def render_text(self) -> str:
+        counts = self.outcome_counts()
+        lines = [
+            f"fault campaign: {len(self.circuits)} circuit(s), "
+            f"{self.num_faults} faults, {len(self.records)} points "
+            f"({self.seeds} seeds max, jitter ±{self.jitter:g})",
+            f"  baseline (golden) runs clean: {self.baseline_ok}",
+            "  outcomes per fault: "
+            + ", ".join(f"{k}={counts[k]}" for k in OUTCOMES),
+            f"  fault coverage: {100 * self.coverage:.1f}%",
+        ]
+        rows = sorted(
+            self.fault_outcomes(), key=lambda fo: (fo.circuit, fo.fault)
+        )
+        if rows:
+            w_c = max(len(fo.circuit) for fo in rows)
+            w_f = max(len(fo.fault) for fo in rows)
+            lines.append("")
+            for fo in rows:
+                mark = "·" if fo.covered else "!"
+                lines.append(
+                    f"  {mark} {fo.circuit:<{w_c}}  {fo.fault:<{w_f}}  "
+                    f"{fo.outcome}"
+                    + (f"  [{fo.detail}]" if fo.detail and fo.covered else "")
+                )
+        if self.undetected():
+            lines.append("")
+            lines.append(
+                "  undetected faults (escapes): "
+                + ", ".join(
+                    f"{fo.circuit}/{fo.fault}" for fo in self.undetected()
+                )
+            )
+        return "\n".join(lines)

@@ -8,7 +8,7 @@ with conformance checking for closed-loop hazard-freeness runs.
 
 from .waveform import Waveform, Pulse, TraceSet
 from .mhs import MhsParams, MhsState, mhs_response, celement_response
-from .simulator import Simulator, SimConfig
+from .simulator import Simulator, SimConfig, SimulationError, SimulationLimitError
 from .environment import SGEnvironment, ConformanceReport
 from .hazards import HazardReport, analyze_hazards
 from .vcd import write_vcd
@@ -24,6 +24,8 @@ __all__ = [
     "celement_response",
     "Simulator",
     "SimConfig",
+    "SimulationError",
+    "SimulationLimitError",
     "SGEnvironment",
     "ConformanceReport",
     "HazardReport",

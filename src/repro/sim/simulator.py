@@ -28,7 +28,57 @@ from ..netlist.netlist import Netlist
 from .mhs import MhsParams, MhsState
 from .waveform import TraceSet
 
-__all__ = ["Simulator", "SimConfig"]
+__all__ = ["Simulator", "SimConfig", "SimulationError", "SimulationLimitError"]
+
+
+class SimulationError(RuntimeError):
+    """A structural/behavioural failure inside a simulation run.
+
+    Carries the offending gate/net and the simulation time so fault
+    campaigns can record actionable per-point diagnostics instead of a
+    bare assertion message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        gate: str | None = None,
+        net: str | None = None,
+        time: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.gate = gate
+        self.net = net
+        self.time = time
+
+    def describe(self) -> str:
+        parts = [str(self)]
+        if self.gate is not None:
+            parts.append(f"gate={self.gate}")
+        if self.net is not None:
+            parts.append(f"net={self.net}")
+        if self.time is not None:
+            parts.append(f"t={self.time:.3f}")
+        return " ".join(parts)
+
+
+class SimulationLimitError(SimulationError):
+    """A watchdog limit tripped: the run was cut off, not completed.
+
+    Raised by :meth:`Simulator.run` when ``max_events`` or
+    ``max_sim_time`` is exceeded — the structured signal that a faulty
+    netlist livelocked (e.g. an oscillating loop generating unbounded
+    event streams) rather than quiescing.  ``limit`` names the budget
+    that tripped (``"events"`` or ``"time"``).
+    """
+
+    def __init__(
+        self, message: str, *, limit: str, events: int, time: float
+    ) -> None:
+        super().__init__(message, time=time)
+        self.limit = limit
+        self.events = events
 
 
 @dataclass(frozen=True)
@@ -40,21 +90,29 @@ class SimConfig:
     at construction (0 = nominal everywhere).
     ``mhs`` — the MHS flip-flop's electrical parameters.
     ``cel_tau`` — response delay of baseline C-elements/RS latches.
+    ``max_events`` / ``max_sim_time`` — watchdog budgets: when set, a
+    run that processes more events (cumulative over the simulator's
+    lifetime) or advances past the time bound raises
+    :class:`SimulationLimitError` instead of spinning forever on a
+    livelocked netlist.
     """
 
     jitter: float = 0.0
     seed: int | None = None
     mhs: MhsParams = field(default_factory=MhsParams)
     cel_tau: float = 1.2
+    max_events: int | None = None
+    max_sim_time: float | None = None
 
 
 class Simulator:
     """Event-driven execution of a netlist under the pure delay model."""
 
     # event kinds, ordered so that internal window checks run before
-    # net changes at equal timestamps
+    # net changes at equal timestamps; callbacks run after both
     _KIND_CHECK = 0
     _KIND_NET = 1
+    _KIND_CALL = 2
 
     def __init__(
         self,
@@ -67,11 +125,13 @@ class Simulator:
         self.library = library
         self.rng = random.Random(self.config.seed)
         self.now = 0.0
+        self.events_processed = 0
         self.values: dict[str, int] = {}
         self.traces = TraceSet()
         self.violations: list[str] = []
         self._queue: list[tuple[float, int, int, str, int]] = []
         self._seq = 0
+        self._callbacks: dict[int, Callable[["Simulator", float], None]] = {}
         self._watchers: dict[str, list[Callable[[float, int], None]]] = {}
         self._fanout: dict[str, list[Gate]] = {}
         for g in netlist.gates:
@@ -139,7 +199,11 @@ class Simulator:
             if not changed:
                 break
         else:
-            raise RuntimeError("combinational initialization did not settle")
+            raise SimulationError(
+                "combinational initialization did not settle "
+                "(combinational cycle in the netlist?)",
+                time=0.0,
+            )
         # seed MHS input levels so later edges are detected correctly
         for g in self.netlist.gates:
             if g.type == GateType.MHSFF:
@@ -164,6 +228,20 @@ class Simulator:
             raise ValueError(f"{net!r} is not a primary input")
         self._post(at, net, value)
 
+    def inject(self, net: str, value: int, at: float) -> None:
+        """Force a value onto *any* net at a given time (fault injection).
+
+        Unlike :meth:`drive` this bypasses the primary-input check: it
+        is the single-event-upset hook used by the fault campaign to
+        overdrive an internal net.  The driving gate does not fight
+        back until one of its own inputs changes, so a pair of injects
+        (flip at ``t``, restore at ``t + width``) models a transient
+        pulse of the given width.
+        """
+        if net not in self.netlist.nets():
+            raise ValueError(f"{net!r} is not a net of {self.netlist.name!r}")
+        self._post(at, net, value)
+
     def watch(self, net: str, callback: Callable[[float, int], None]) -> None:
         """Register a callback invoked on every change of ``net``."""
         self._watchers.setdefault(net, []).append(callback)
@@ -182,6 +260,18 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._queue, (time, self._KIND_CHECK, self._seq, "", 0))
 
+    def schedule_callback(
+        self, time: float, fn: Callable[["Simulator", float], None]
+    ) -> None:
+        """Run ``fn(sim, time)`` when the event loop reaches ``time``.
+
+        Used by transient fault models to decide their injection lazily
+        (e.g. read the victim net's value at the moment of the upset).
+        """
+        self._seq += 1
+        self._callbacks[self._seq] = fn
+        heapq.heappush(self._queue, (time, self._KIND_CALL, self._seq, "", 0))
+
     def pending(self) -> bool:
         return bool(self._queue)
 
@@ -189,12 +279,40 @@ class Simulator:
         return self._queue[0][0] if self._queue else None
 
     def run(self, until: float) -> None:
-        """Process events up to (and including) time ``until``."""
+        """Process events up to (and including) time ``until``.
+
+        Enforces the :class:`SimConfig` watchdog budgets: exceeding
+        ``max_events`` (cumulative across calls) or ``max_sim_time``
+        raises :class:`SimulationLimitError`, turning a livelocked
+        netlist — e.g. a fault-induced oscillator that schedules events
+        forever — into a structured, catchable outcome.
+        """
+        cfg = self.config
         while self._queue and self._queue[0][0] <= until + 1e-12:
-            time, kind, _, net, value = heapq.heappop(self._queue)
+            time, kind, seq, net, value = heapq.heappop(self._queue)
             self.now = max(self.now, time)
+            self.events_processed += 1
+            if cfg.max_events is not None and self.events_processed > cfg.max_events:
+                raise SimulationLimitError(
+                    f"event budget exhausted ({cfg.max_events} events)",
+                    limit="events",
+                    events=self.events_processed,
+                    time=self.now,
+                )
+            if cfg.max_sim_time is not None and time > cfg.max_sim_time:
+                raise SimulationLimitError(
+                    f"simulation time budget exhausted ({cfg.max_sim_time} ns)",
+                    limit="time",
+                    events=self.events_processed,
+                    time=self.now,
+                )
             if kind == self._KIND_CHECK:
                 self._run_mhs_checks(time)
+                continue
+            if kind == self._KIND_CALL:
+                fn = self._callbacks.pop(seq, None)
+                if fn is not None:
+                    fn(self, time)
                 continue
             if self.values.get(net) == value:
                 continue
@@ -228,7 +346,13 @@ class Simulator:
         t = g.type
         if t in (GateType.AND, GateType.OR, GateType.INV, GateType.BUF, GateType.DELAY):
             val = self._eval_comb(g)
-            assert val is not None
+            if val is None:
+                raise SimulationError(
+                    f"gate {g.name} ({t.value}) produced no value",
+                    gate=g.name,
+                    net=g.output,
+                    time=time,
+                )
             # pure delay: schedule unconditionally; the queue's
             # last-write-wins per net at each timestamp reproduces the
             # transport-delay waveform, including narrow pulses.
@@ -249,7 +373,11 @@ class Simulator:
         elif t in (GateType.INPUT, GateType.CONST):
             pass
         else:  # pragma: no cover - defensive
-            raise ValueError(f"unsupported gate {g.type}")
+            raise SimulationError(
+                f"unsupported gate type {g.type.value} on {g.name}",
+                gate=g.name,
+                time=time,
+            )
 
     def _run_mhs_checks(self, time: float) -> None:
         for g in self.netlist.gates:

@@ -1,25 +1,33 @@
 """Smoke tests: every example script runs to completion."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted(p.name for p in (REPO_ROOT / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES)
 def test_example_runs(script, tmp_path):
-    path = pathlib.Path(__file__).parent.parent / "examples" / script
+    path = REPO_ROOT / "examples" / script
+    # the examples import `repro` from src/, which the child process
+    # does not inherit from pytest's own sys.path
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     proc = subprocess.run(
         [sys.executable, str(path)],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=tmp_path,  # scripts that write artefacts do so in a sandbox
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip()

@@ -2,55 +2,51 @@
 
 Hazard-freeness verification passing on every synthesized circuit is
 only meaningful if the checker *fails* on broken ones.  These tests
-mutate correct N-SHOT netlists — stuck-at nets, swapped set/reset,
-inverted literals, deleted acknowledgement gating — and assert the
-closed-loop oracle reports violations (conformance, progress, or MHS
-drive conflicts) on at least one seed.
+drive the fault models of :mod:`repro.faults` — stuck-at nets, swapped
+set/reset, inverted literals, deleted acknowledgement gating, missing
+Equation (1) compensation — through the closed-loop oracle and assert
+it reports violations on at least one seed, while the golden circuit
+stays clean under identical seeds.
 """
 
 import pytest
 
-from repro.core import synthesize
-from repro.netlist import Gate, GateType, Netlist, Pin
-from repro.sim import SGEnvironment, SimConfig, Simulator
+from repro.core import run_oracle, synthesize
+from repro.faults import (
+    DelayViolationFault,
+    FaultModel,
+    InvertedLiteralFault,
+    StuckAtFault,
+    SwappedSetResetFault,
+)
+from repro.netlist import GateType
+from repro.sim import SimConfig
 from repro.stg import elaborate, parse_g
 from tests.conftest import C_ELEMENT_G
 
 
-def rebuild(netlist: Netlist, mutate) -> Netlist:
-    """Copy a netlist, applying ``mutate(gate) -> Gate|None`` per gate."""
-    nl = Netlist(netlist.name + "_faulty")
-    for n in netlist.primary_inputs:
-        nl.add_input(n)
-    for n in netlist.primary_outputs:
-        nl.add_output(n)
-    for g in netlist.gates:
-        g2 = Gate(
-            g.name,
-            g.type,
-            [Pin(p.net, p.inverted) for p in g.inputs],
-            g.output,
-            output_n=g.output_n,
-            delay=g.delay,
-            attrs=dict(g.attrs),
-        )
-        g2 = mutate(g2)
-        if g2 is not None:
-            nl.add(g2)
-    return nl
-
-
-def runs_clean(nl: Netlist, sg, seeds=range(8)) -> bool:
-    """True when every seed's closed-loop run is fully conformant."""
+def verdicts(fault: FaultModel, sg, netlist, *, seeds=range(8), jitter=0.3,
+             max_time=1200.0):
+    """Per-seed oracle verdicts for a fault applied to a golden netlist."""
+    faulty = fault.apply_netlist(netlist)
+    out = []
     for seed in seeds:
-        sim = Simulator(nl, SimConfig(jitter=0.3, seed=seed))
-        env = SGEnvironment(sg, sim, seed=seed ^ 0x77)
-        report = env.run(max_time=1200.0, max_transitions=80)
-        if not report.ok:
-            return False
-        if report.transitions_observed == 0:
-            return False  # livelock / dead circuit
-    return True
+        config = fault.apply_config(SimConfig(jitter=jitter, seed=seed))
+        out.append(
+            run_oracle(
+                faulty, sg, config, max_time=max_time,
+                max_transitions=80, arm=fault.arm,
+            )
+        )
+    return out
+
+
+def runs_clean(fault: FaultModel, sg, netlist, **kw) -> bool:
+    """True when every seed's closed-loop run is fully conformant."""
+    return all(
+        v.status == "clean" and v.transitions > 0
+        for v in verdicts(fault, sg, netlist, **kw)
+    )
 
 
 @pytest.fixture()
@@ -63,81 +59,89 @@ def golden():
 class TestOracleSensitivity:
     def test_golden_is_clean(self, golden):
         sg, circuit = golden
-        assert runs_clean(circuit.netlist, sg)
+        assert runs_clean(FaultModel(), sg, circuit.netlist)
 
     def test_swapped_set_reset_detected(self, golden):
         sg, circuit = golden
-
-        def swap(g):
-            if g.type == GateType.MHSFF:
-                g.inputs = [g.inputs[1], g.inputs[0]]
-            return g
-
-        assert not runs_clean(rebuild(circuit.netlist, swap), sg)
+        ff = next(
+            g for g in circuit.netlist.gates if g.type == GateType.MHSFF
+        )
+        fault = SwappedSetResetFault(ff.name)
+        assert not runs_clean(fault, sg, circuit.netlist)
 
     def test_inverted_literal_detected(self, golden):
         sg, circuit = golden
-
-        def flip(g):
-            if g.type == GateType.AND and g.inputs:
-                p = g.inputs[0]
-                g.inputs[0] = Pin(p.net, not p.inverted)
-            return g
-
-        assert not runs_clean(rebuild(circuit.netlist, flip), sg)
+        gate = next(
+            g
+            for g in circuit.netlist.gates
+            if g.type == GateType.AND and g.inputs
+        )
+        fault = InvertedLiteralFault(gate.name, 0)
+        assert not runs_clean(fault, sg, circuit.netlist)
 
     def test_stuck_at_zero_set_plane_detected(self, golden):
-        """Replace the set plane with a constant 0: the output can never
-        rise — a progress failure."""
+        """Set plane tied to constant 0: the output can never rise — a
+        progress failure."""
         sg, circuit = golden
-
-        def kill_set(g):
-            if g.name.startswith("ack_set"):
-                return Gate(g.name, GateType.CONST, [], g.output, attrs={"value": 0})
-            return g
-
-        assert not runs_clean(rebuild(circuit.netlist, kill_set), sg)
+        gate = next(
+            g for g in circuit.netlist.gates if g.name.startswith("ack_set")
+        )
+        fault = StuckAtFault(gate.output, 0)
+        assert not runs_clean(fault, sg, circuit.netlist)
 
     def test_stuck_at_one_reset_detected(self, golden):
         sg, circuit = golden
-
-        def stuck_reset(g):
-            if g.name.startswith("ack_reset"):
-                return Gate(g.name, GateType.CONST, [], g.output, attrs={"value": 1})
-            return g
-
-        assert not runs_clean(rebuild(circuit.netlist, stuck_reset), sg)
+        gate = next(
+            g for g in circuit.netlist.gates if g.name.startswith("ack_reset")
+        )
+        fault = StuckAtFault(gate.output, 1)
+        assert not runs_clean(fault, sg, circuit.netlist)
 
     def test_missing_delay_compensation_detected(self):
         """The Section IV-C trespassing-pulse failure, reproduced.
 
         ``pmcm2`` has an asymmetric plane structure (2-level set vs
         1-level reset): under ±40% delay bounds Equation (1) requires a
-        local delay line.  A circuit designed for the *nominal* bound
-        (no delay line) and operated under ±40% jitter lets a stale
-        set-plane pulse cross the acknowledgement window and misfire the
-        output — which the oracle must catch.  The properly compensated
-        circuit passes under identical seeds.
+        local delay line.  ``DelayViolationFault(None, 0.0)`` strips the
+        compensation wholesale; operated under ±40% jitter a stale
+        set-plane pulse crosses the acknowledgement window and misfires
+        the output — which the oracle must catch.  The properly
+        compensated circuit passes under identical seeds.
         """
         from repro.bench.circuits import build_nondistributive
 
         sg = build_nondistributive("pmcm2")
-        nominal = synthesize(sg, name="pmcm2", delay_spread=0.0)
         compensated = synthesize(sg, name="pmcm2", delay_spread=0.4)
-        assert not nominal.compensation_required
         assert compensated.compensation_required
 
-        def verdicts(nl):
-            out = []
-            for seed in range(10):
-                sim = Simulator(nl, SimConfig(jitter=0.4, seed=seed))
-                env = SGEnvironment(sg, sim, seed=seed ^ 0x5EED)
-                report = env.run(max_time=2500.0, max_transitions=80)
-                out.append(report.ok)
-            return out
-
-        assert not all(verdicts(nominal.netlist)), (
-            "operating a nominally-designed circuit beyond its delay "
-            "bounds must eventually misfire"
+        kw = dict(seeds=range(10), jitter=0.4, max_time=2500.0)
+        fault = DelayViolationFault(None, 0.0)
+        assert not runs_clean(fault, sg, compensated.netlist, **kw), (
+            "operating a circuit with its Equation (1) compensation "
+            "stripped must eventually misfire"
         )
-        assert all(verdicts(compensated.netlist))
+        assert runs_clean(FaultModel(), sg, compensated.netlist, **kw)
+
+    def test_fault_transforms_are_pure(self, golden):
+        """Applying a fault never mutates the golden netlist."""
+        sg, circuit = golden
+        before = [
+            (g.name, [(p.net, p.inverted) for p in g.inputs], g.delay)
+            for g in circuit.netlist.gates
+        ]
+        ff = next(
+            g for g in circuit.netlist.gates if g.type == GateType.MHSFF
+        )
+        SwappedSetResetFault(ff.name).apply_netlist(circuit.netlist)
+        gate = next(
+            g
+            for g in circuit.netlist.gates
+            if g.type == GateType.AND and g.inputs
+        )
+        InvertedLiteralFault(gate.name, 0).apply_netlist(circuit.netlist)
+        StuckAtFault(gate.output, 0).apply_netlist(circuit.netlist)
+        after = [
+            (g.name, [(p.net, p.inverted) for p in g.inputs], g.delay)
+            for g in circuit.netlist.gates
+        ]
+        assert before == after

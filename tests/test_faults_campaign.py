@@ -1,0 +1,363 @@
+"""The fault-injection campaign subsystem, end to end.
+
+Covers the fault-model transforms, the simulator watchdogs (an injected
+livelock must surface as a structured :class:`SimulationLimitError`,
+never a hang), graceful degradation in the campaign runner, the
+multiprocessing fan-out, the JSON report schema, and — the headline
+robustness claim — ≥90% fault coverage over the paper benchmark suite.
+"""
+
+import json
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import run_oracle, synthesize
+from repro.faults import (
+    DeletedAckGateFault,
+    DelayViolationFault,
+    FaultCampaign,
+    FaultModel,
+    InvertedLiteralFault,
+    OmegaMarginFault,
+    StuckAtFault,
+    SwappedSetResetFault,
+    TransientPulseFault,
+    WatchdogLimits,
+    enumerate_faults,
+    rebuild_netlist,
+    run_campaign,
+)
+from repro.netlist import Gate, GateType, Netlist, Pin
+from repro.sim import (
+    SimConfig,
+    SimulationError,
+    SimulationLimitError,
+    Simulator,
+)
+from repro.stg import elaborate, parse_g
+from tests.conftest import C_ELEMENT_G
+
+
+@pytest.fixture(scope="module")
+def golden():
+    sg = elaborate(parse_g(C_ELEMENT_G))
+    circuit = synthesize(sg, name="celem", delay_spread=0.3)
+    return sg, circuit
+
+
+# ----------------------------------------------------------------------
+# fault models
+# ----------------------------------------------------------------------
+class TestFaultModels:
+    def test_enumerate_covers_catalogue(self, golden):
+        _, circuit = golden
+        faults = enumerate_faults(circuit.netlist)
+        kinds = {f.kind for f in faults}
+        assert {"stuck", "inverted-literal", "swapped-set-reset",
+                "seu", "omega-margin"} <= kinds
+        # dedupe: no fault listed twice
+        assert len(faults) == len(set(faults))
+
+    def test_models_pickle(self, golden):
+        """Frozen dataclasses must survive the multiprocessing pipe."""
+        _, circuit = golden
+        for f in enumerate_faults(circuit.netlist):
+            assert pickle.loads(pickle.dumps(f)) == f
+
+    def test_stuck_at_replaces_both_rails(self, golden):
+        _, circuit = golden
+        ff = next(g for g in circuit.netlist.gates if g.type == GateType.MHSFF)
+        faulty = StuckAtFault(ff.output, 1).apply_netlist(circuit.netlist)
+        consts = {
+            g.output: g.attrs["value"]
+            for g in faulty.gates
+            if g.type == GateType.CONST and g.output.startswith(ff.output)
+        }
+        assert consts[ff.output] == 1
+        if ff.output_n:
+            assert faulty.driver(ff.output_n).attrs["value"] == 0
+
+    def test_stuck_at_rejects_primary_input(self, golden):
+        _, circuit = golden
+        pi = circuit.netlist.primary_inputs[0]
+        with pytest.raises(ValueError, match="primary input"):
+            StuckAtFault(pi, 0).apply_netlist(circuit.netlist)
+
+    def test_unknown_gate_raises(self, golden):
+        _, circuit = golden
+        for fault in (
+            InvertedLiteralFault("nope"),
+            SwappedSetResetFault("nope"),
+            DelayViolationFault("nope"),
+        ):
+            with pytest.raises(ValueError):
+                fault.apply_netlist(circuit.netlist)
+
+    def test_delay_fault_hits_every_delay_line(self):
+        from repro.bench.circuits import build_nondistributive
+
+        sg = build_nondistributive("pmcm2")
+        circuit = synthesize(sg, name="pmcm2", delay_spread=0.4)
+        lines = [g for g in circuit.netlist.gates if g.type == GateType.DELAY]
+        assert lines, "pmcm2 at ±40% must require compensation"
+        faulty = DelayViolationFault(None, 0.0).apply_netlist(circuit.netlist)
+        for g in faulty.gates:
+            if g.type == GateType.DELAY:
+                assert g.delay == 0.0
+
+    def test_omega_margin_shrinks_config(self):
+        cfg = OmegaMarginFault(omega=0.05).apply_config(SimConfig())
+        assert cfg.mhs.omega == 0.05
+        # tau untouched
+        assert cfg.mhs.tau == SimConfig().mhs.tau
+
+    def test_rebuild_is_deep(self, golden):
+        _, circuit = golden
+        copy = rebuild_netlist(circuit.netlist, lambda g: g)
+        g0 = copy.gates[0]
+        g0.inputs.append(Pin("bogus"))
+        assert len(circuit.netlist.gates[0].inputs) != len(g0.inputs) or not (
+            circuit.netlist.gates[0].inputs is g0.inputs
+        )
+
+    def test_seu_described(self):
+        f = TransientPulseFault("n1", at=17.0, width=3.0)
+        assert f.describe() == "seu@n1@t17w3"
+        assert TransientPulseFault("n1").describe() == "seu@n1@rnd2w3"
+
+
+# ----------------------------------------------------------------------
+# simulator watchdogs + structured errors (the livelock guard)
+# ----------------------------------------------------------------------
+def gated_oscillator() -> Netlist:
+    """Stable at ``en=0``; oscillates forever once ``en`` rises.
+
+    A single fast AND gate fed back through its own inverted output:
+    the canonical event-flood livelock the ``max_events`` watchdog
+    exists for.
+    """
+    nl = Netlist("osc")
+    nl.add_input("en")
+    nl.add_output("osc_out")
+    nl.add(
+        Gate(
+            "osc_and",
+            GateType.AND,
+            [Pin("en"), Pin("osc_out", inverted=True)],
+            "osc_out",
+            delay=0.05,
+        )
+    )
+    return nl
+
+
+class TestWatchdogs:
+    def test_livelock_hits_event_budget(self):
+        sim = Simulator(gated_oscillator(), SimConfig(max_events=5_000))
+        sim.initialize({"en": 0})
+        sim.drive("en", 1, 1.0)
+        with pytest.raises(SimulationLimitError) as exc:
+            sim.run(1e9)
+        assert exc.value.limit == "events"
+        assert exc.value.events >= 5_000
+        assert sim.events_processed >= 5_000
+
+    def test_livelock_hits_time_budget(self):
+        sim = Simulator(
+            gated_oscillator(),
+            SimConfig(max_events=10_000_000, max_sim_time=50.0),
+        )
+        sim.initialize({"en": 0})
+        sim.drive("en", 1, 1.0)
+        with pytest.raises(SimulationLimitError) as exc:
+            sim.run(1e9)
+        assert exc.value.limit == "time"
+        assert exc.value.time > 50.0
+
+    def test_limit_error_is_simulation_error(self):
+        assert issubclass(SimulationLimitError, SimulationError)
+        e = SimulationError("boom", gate="g1", net="n1", time=2.5)
+        assert (e.gate, e.net, e.time) == ("g1", "n1", 2.5)
+        assert "g1" in e.describe() and "t=2.5" in e.describe()
+
+    def test_unbudgeted_run_unaffected(self):
+        sim = Simulator(gated_oscillator(), SimConfig())
+        sim.initialize({"en": 0})
+        sim.run(100.0)  # stable: no budget, no events, no error
+        assert sim.value("osc_out") == 0
+
+    def test_inject_validates_net(self):
+        sim = Simulator(gated_oscillator(), SimConfig())
+        sim.initialize({"en": 0})
+        with pytest.raises(ValueError, match="is not a net"):
+            sim.inject("no_such_net", 1, 1.0)
+
+    def test_schedule_callback_fires_once(self):
+        sim = Simulator(gated_oscillator(), SimConfig())
+        sim.initialize({"en": 0})
+        seen = []
+        sim.schedule_callback(5.0, lambda s, t: seen.append(t))
+        sim.run(100.0)
+        assert seen == [5.0]
+
+
+# ----------------------------------------------------------------------
+# a fault that livelocks the circuit (for campaign-level tests)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LivelockFault(FaultModel):
+    """Grafts a self-latching ring oscillator armed by the output.
+
+    ``osc_en`` latches high the first time ``signal`` rises (a
+    self-looped OR), after which a fast feedback AND oscillates
+    forever — the circuit itself still conforms, but the event stream
+    never quiesces.  Only the ``max_events`` watchdog turns this into
+    a recorded outcome instead of a stuck campaign.
+    """
+
+    signal: str = "c"
+
+    kind = "livelock"
+
+    def apply_netlist(self, netlist):
+        nl = rebuild_netlist(netlist, lambda g: g)
+        nl.add(
+            Gate(
+                "osc_latch",
+                GateType.OR,
+                [Pin(self.signal), Pin("osc_en")],
+                "osc_en",
+            )
+        )
+        nl.add(
+            Gate(
+                "osc_and",
+                GateType.AND,
+                [Pin("osc_en"), Pin("osc_out", inverted=True)],
+                "osc_out",
+                delay=0.05,
+            )
+        )
+        return nl
+
+
+class TestGracefulDegradation:
+    def test_oracle_reports_timeout_not_hang(self, golden):
+        sg, circuit = golden
+        fault = LivelockFault("c")
+        faulty = fault.apply_netlist(circuit.netlist)
+        verdict = run_oracle(
+            faulty, sg, SimConfig(jitter=0.3, seed=0, max_events=20_000)
+        )
+        assert verdict.status == "timeout"
+        assert verdict.events >= 20_000
+        assert verdict.errors and "event" in verdict.errors[0]
+
+    def test_campaign_records_livelock_as_timeout(self):
+        res = FaultCampaign(
+            circuits=["c_element"],
+            seeds=2,
+            limits=WatchdogLimits(max_events=5_000),
+            faults={"c_element": [LivelockFault("c")]},
+        ).run()
+        (fo,) = res.fault_outcomes()
+        assert fo.outcome == "timeout"
+        assert fo.covered  # a livelock is a detection, not an escape
+
+    def test_inapplicable_fault_is_error_record(self):
+        res = FaultCampaign(
+            circuits=["c_element"],
+            seeds=2,
+            faults={"c_element": [InvertedLiteralFault("no_such_gate")]},
+        ).run()
+        (fo,) = res.fault_outcomes()
+        assert fo.outcome == "error"
+        assert "fault application failed" in fo.detail
+
+
+# ----------------------------------------------------------------------
+# campaign runner + report
+# ----------------------------------------------------------------------
+class TestCampaign:
+    def test_smoke_serial(self):
+        res = run_campaign(["c_element"], seeds=3)
+        assert res.baseline_ok
+        assert res.num_faults > 5
+        assert res.coverage >= 0.8
+        assert not any(r.outcome == "error" for r in res.records)
+
+    def test_smoke_parallel_matches_serial(self):
+        serial = run_campaign(["c_element"], seeds=3, jobs=1)
+        fanned = run_campaign(["c_element"], seeds=3, jobs=2)
+        as_map = lambda r: {
+            (f.circuit, f.fault): f.outcome for f in r.fault_outcomes()
+        }
+        assert as_map(serial) == as_map(fanned)
+
+    def test_json_report_schema(self):
+        res = run_campaign(["c_element"], seeds=2)
+        doc = json.loads(res.render_json())
+        assert doc["schema"] == "repro-fault-campaign/1"
+        assert doc["circuits"] == ["c_element"]
+        assert set(doc["outcomes"]) == {
+            "detected", "undetected", "timeout", "error",
+        }
+        assert doc["num_faults"] == len(doc["faults"])
+        assert 0.0 <= doc["coverage"] <= 1.0
+        assert doc["baseline_ok"] is True
+        for point in doc["points"]:
+            assert point["outcome"] in (
+                "detected", "undetected", "timeout", "error",
+            )
+
+    def test_text_report_lists_escapes(self):
+        res = FaultCampaign(
+            circuits=["c_element"],
+            seeds=1,
+            faults={"c_element": []},
+        ).run()
+        text = res.render_text()
+        assert "fault campaign" in text
+        assert "baseline (golden) runs clean: True" in text
+
+    def test_unknown_circuit_raises_at_enumeration(self):
+        with pytest.raises(KeyError, match="unknown fault-suite circuit"):
+            FaultCampaign(circuits=["nonexistent"]).units()
+
+
+# ----------------------------------------------------------------------
+# the headline robustness claim
+# ----------------------------------------------------------------------
+class TestBenchmarkCoverage:
+    def test_paper_suite_coverage(self):
+        """≥90% of injected faults are detected across the paper suite,
+        the golden baselines stay clean, and nothing crashes the sweep."""
+        res = run_campaign(
+            ["c_element", "xyz_ring", "handshake", "fork_join", "chu150"],
+            seeds=8,
+            jobs=2,
+        )
+        assert res.baseline_ok, "golden circuits must verify clean"
+        assert res.coverage >= 0.90, (
+            f"fault coverage {res.coverage:.1%} below the 90% bar; "
+            f"escapes: {[(f.circuit, f.fault) for f in res.undetected()]}"
+        )
+        assert not any(r.outcome == "error" for r in res.records), (
+            "campaign-level crashes: "
+            f"{[r.detail for r in res.records if r.outcome == 'error']}"
+        )
+
+    @pytest.mark.slow
+    def test_full_suite_coverage_deep(self):
+        """The full six-circuit sweep at higher seed count (opt-in)."""
+        res = run_campaign(
+            ["c_element", "xyz_ring", "handshake", "fork_join",
+             "chu150", "pmcm2"],
+            seeds=16,
+            jobs=2,
+        )
+        assert res.baseline_ok
+        assert res.coverage >= 0.90
+        assert not any(r.outcome == "error" for r in res.records)
