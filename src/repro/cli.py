@@ -8,6 +8,8 @@ Mirrors how the paper's compiler was driven::
     python -m repro compare ctrl.g              # all flows, one circuit
     python -m repro table2 [circuit ...]        # regenerate Table 2
     python -m repro faults --circuit c_element  # fault-injection campaign
+    python -m repro bench --quick               # machine-readable benchmark
+    python -m repro synth ctrl.g --profile      # per-phase timing to stderr
 """
 
 from __future__ import annotations
@@ -90,7 +92,29 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _with_profile(args: argparse.Namespace, body) -> int:
+    """Run ``body()`` under an enabled tracer when ``--profile`` is set
+    and print the span tree to stderr afterwards.
+
+    There is no second timing path: the profile table *is* the tracer's
+    span tree, the same spans the bench harness aggregates.
+    """
+    if not getattr(args, "profile", False):
+        return body()
+    from .obs import Tracer, tracing
+
+    with tracing(Tracer()) as tracer:
+        code = body()
+    print("\n── profile (spans, wall-clock) ──", file=sys.stderr)
+    print(tracer.render_tree(), file=sys.stderr)
+    return code
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
+    return _with_profile(args, lambda: _synth_body(args))
+
+
+def _synth_body(args: argparse.Namespace) -> int:
     stg, sg = _load_sg(args.file)
     circuit = synthesize(
         sg,
@@ -119,6 +143,10 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    return _with_profile(args, lambda: _compare_body(args))
+
+
+def _compare_body(args: argparse.Namespace) -> int:
     stg, sg = _load_sg(args.file)
     rows = []
     for label, flow in (
@@ -193,6 +221,44 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .obs.harness import run_bench, validate_bench, write_bench
+
+    def progress(name: str, entry: dict) -> None:
+        total = entry["total"]["median_s"]
+        print(
+            f"  {name}: {total * 1e3:8.1f} ms median over {entry['runs']} "
+            f"run(s) ({entry['states']} states)",
+            file=sys.stderr,
+        )
+
+    try:
+        doc = run_bench(
+            circuits=args.circuits or None,
+            quick=args.quick,
+            runs=args.runs,
+            chrome_trace=args.chrome_trace,
+            progress=progress,
+        )
+    except KeyError as e:
+        print(f"error: unknown benchmark circuit {e.args[0]!r}", file=sys.stderr)
+        return 1
+    problems = validate_bench(doc)
+    if problems:  # pragma: no cover - harness emits what it validates
+        print("error: bench document failed schema validation:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    path = write_bench(doc, args.output)
+    if args.chrome_trace:
+        print(f"wrote {args.chrome_trace} (Chrome trace_event)")
+    print(
+        f"wrote {path}: {doc['totals']['circuits']} circuits in "
+        f"{doc['totals']['wall_s']:.1f}s ({doc['schema']})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,10 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true", help="run Monte-Carlo verification"
     )
     p_synth.add_argument("--runs", type=int, default=5)
+    p_synth.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase span tree (timings + metrics) to stderr",
+    )
     p_synth.set_defaults(func=cmd_synth)
 
     p_cmp = sub.add_parser("compare", help="run every flow on one STG")
     p_cmp.add_argument("file", help=".g STG file")
+    p_cmp.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase span tree (timings + metrics) to stderr",
+    )
     p_cmp.set_defaults(func=cmd_compare)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2")
@@ -271,6 +347,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list fault-suite circuit names"
     )
     p_f.set_defaults(func=cmd_faults)
+
+    p_b = sub.add_parser(
+        "bench",
+        help="run the benchmark harness, write BENCH_<UTC-date>.json",
+    )
+    p_b.add_argument(
+        "circuits", nargs="*", help="subset of benchmark names (default: suite)"
+    )
+    p_b.add_argument(
+        "--quick",
+        action="store_true",
+        help="small circuit subset, one run each (CI smoke)",
+    )
+    p_b.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="measured runs per circuit (default 3, 1 with --quick)",
+    )
+    p_b.add_argument(
+        "-o", "--output", help="output path (default BENCH_<UTC-date>.json)"
+    )
+    p_b.add_argument(
+        "--chrome-trace",
+        help="also write the last run's spans as Chrome trace_event JSON",
+    )
+    p_b.set_defaults(func=cmd_bench)
     return parser
 
 

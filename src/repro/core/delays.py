@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..netlist.library import DEFAULT_LIBRARY, Library
+from ..obs import get_metrics
 
 __all__ = ["PlaneTiming", "DelayRequirement", "compute_delay_requirement"]
 
@@ -108,7 +109,7 @@ def compute_delay_requirement(
     (1) can go positive for circuits with asymmetric plane depths, and
     the architecture then inserts the parallel delay line.
     """
-    return DelayRequirement(
+    req = DelayRequirement(
         signal_name=signal_name,
         t_set0_w=set_plane.worst(library, spread),
         t_res1_f=reset_plane.best(library, spread),
@@ -117,3 +118,8 @@ def compute_delay_requirement(
         t_mhs_minus=mhs_tau,
         t_mhs_plus=mhs_tau,
     )
+    metrics = get_metrics()
+    metrics.counter("delays.evaluated").add(1)
+    if req.compensation_required:
+        metrics.counter("delays.compensated").add(1)
+    return req

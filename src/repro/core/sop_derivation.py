@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..logic import Cover
+from ..obs import trace_span
 from ..sg.encoding import states_to_cover, unreachable_cover
 from ..sg.graph import StateGraph
 from ..sg.regions import SignalRegions, signal_regions
@@ -92,8 +93,17 @@ def derive_sop_spec(sg: StateGraph) -> SopSpec:
     off = Cover.empty(n, m)
     spec = SopSpec(sg, on, dc, off)
 
-    unreachable = unreachable_cover(sg)
+    with trace_span("sop-derivation", signals=len(non_inputs), outputs=m) as _sp:
+        unreachable = unreachable_cover(sg)
+        _derive_functions(sg, spec, unreachable)
+        _sp.set(on_cubes=len(on), dc_cubes=len(dc), off_cubes=len(off))
+    return spec
 
+
+def _derive_functions(sg: StateGraph, spec: SopSpec, unreachable: Cover) -> None:
+    non_inputs = sg.non_inputs
+    n = sg.num_signals
+    on, dc, off = spec.on, spec.dc, spec.off
     for signal in non_inputs:
         sr = signal_regions(sg, signal)
         spec.regions[signal] = sr
@@ -128,7 +138,6 @@ def derive_sop_spec(sg: StateGraph) -> SopSpec:
                     Cover(n, 1, r_cover.cubes),
                 )
             )
-    return spec
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..logic import Cover, minimize, verify_cover
 from ..netlist import DEFAULT_LIBRARY, Library, Netlist, NetlistStats
+from ..obs import trace_span
 from ..sg.graph import StateGraph
 from ..sg.properties import validate_for_synthesis
 from ..sg.regions import is_single_traversal
@@ -117,69 +118,84 @@ def synthesize(
     TriggerRequirementError
         When a non-single-traversal SG cannot satisfy Theorem 1.
     """
-    if validate:
-        report = validate_for_synthesis(sg)
-        if not report.ok:
-            raise SynthesisError(report.summary())
+    with trace_span("synthesize", circuit=name, method=method) as sp:
+        if validate:
+            with trace_span("validate"):
+                report = validate_for_synthesis(sg)
+            if not report.ok:
+                raise SynthesisError(report.summary())
 
-    spec = derive_sop_spec(sg)
-    if share_products:
-        cover = minimize(spec.on, spec.dc, spec.off, method=method)
-    else:
-        # per-function minimization: no multi-output term sharing
-        from ..logic import Cover
+        spec = derive_sop_spec(sg)
+        if share_products:
+            cover = minimize(spec.on, spec.dc, spec.off, method=method)
+        else:
+            # per-function minimization: no multi-output term sharing
+            from ..logic import Cover
 
-        cover = Cover.empty(sg.num_signals, spec.num_outputs)
-        for o in range(spec.num_outputs):
-            sub = minimize(
-                spec.on.projection(o),
-                spec.dc.projection(o),
-                spec.off.projection(o),
-                method=method,
+            cover = Cover.empty(sg.num_signals, spec.num_outputs)
+            for o in range(spec.num_outputs):
+                sub = minimize(
+                    spec.on.projection(o),
+                    spec.dc.projection(o),
+                    spec.off.projection(o),
+                    method=method,
+                )
+                for c in sub.cubes:
+                    cover.add(c.with_outputs(1 << o))
+        with trace_span("cover-audit"):
+            check = verify_cover(cover, spec.on, spec.dc, spec.off)
+        if not check.ok:
+            raise SynthesisError(
+                f"minimizer produced an unsound cover for {name}: {check}"
             )
-            for c in sub.cubes:
-                cover.add(c.with_outputs(1 << o))
-    check = verify_cover(cover, spec.on, spec.dc, spec.off)
-    if not check.ok:
-        raise SynthesisError(
-            f"minimizer produced an unsound cover for {name}: {check}"
-        )
 
-    single = is_single_traversal(sg)
-    added = 0
-    if not single:
-        cover, added = enforce_trigger_cubes(spec, cover)
-    else:
-        # Corollary 1: nothing to do, but assert it for defence in depth
-        audits = check_trigger_cubes(spec, cover)
-        bad = [a for a in audits if not a.ok]
-        if bad:  # pragma: no cover - Corollary 1 guarantees this branch is dead
-            raise SynthesisError("single-traversal SG failed trigger audit")
+        with trace_span("trigger-enforcement") as sp_t:
+            single = is_single_traversal(sg)
+            added = 0
+            if not single:
+                cover, added = enforce_trigger_cubes(spec, cover)
+            else:
+                # Corollary 1: nothing to do, but assert it for defence in depth
+                audits = check_trigger_cubes(spec, cover)
+                bad = [a for a in audits if not a.ok]
+                if bad:  # pragma: no cover - Corollary 1 guarantees this branch is dead
+                    raise SynthesisError("single-traversal SG failed trigger audit")
+            sp_t.set(single_traversal=single, cubes_added=added)
 
-    # first pass netlist to get plane structure, then Equation (1)
-    arch = build_nshot_netlist(spec, cover, name=name)
-    reqs: dict[int, DelayRequirement] = {}
-    for a in sg.non_inputs:
-        reqs[a] = compute_delay_requirement(
-            sg.signals[a],
-            arch.set_timing[a],
-            arch.reset_timing[a],
-            library=library,
-            mhs_tau=mhs_tau,
-            spread=delay_spread,
-        )
-    init = analyze_initialization(spec, cover)
-    if any(r.compensation_required for r in reqs.values()):
-        arch = build_nshot_netlist(
-            spec,
-            cover,
-            delay_requirements=reqs,
-            init_values={a: d.initial_value for a, d in init.items()},
-            name=name,
-        )
-    problems = arch.netlist.validate()
-    if problems:  # pragma: no cover - structural invariant of the builder
-        raise SynthesisError(f"malformed netlist for {name}: {problems[:3]}")
+        # first pass netlist to get plane structure, then Equation (1)
+        with trace_span("netlist-build"):
+            arch = build_nshot_netlist(spec, cover, name=name)
+        with trace_span("delay-eval", spread=delay_spread) as sp_d:
+            reqs: dict[int, DelayRequirement] = {}
+            for a in sg.non_inputs:
+                reqs[a] = compute_delay_requirement(
+                    sg.signals[a],
+                    arch.set_timing[a],
+                    arch.reset_timing[a],
+                    library=library,
+                    mhs_tau=mhs_tau,
+                    spread=delay_spread,
+                )
+            sp_d.set(
+                compensated=sum(
+                    1 for r in reqs.values() if r.compensation_required
+                )
+            )
+        with trace_span("initialization"):
+            init = analyze_initialization(spec, cover)
+        if any(r.compensation_required for r in reqs.values()):
+            with trace_span("netlist-build", rebuild=True):
+                arch = build_nshot_netlist(
+                    spec,
+                    cover,
+                    delay_requirements=reqs,
+                    init_values={a: d.initial_value for a, d in init.items()},
+                    name=name,
+                )
+        problems = arch.netlist.validate()
+        if problems:  # pragma: no cover - structural invariant of the builder
+            raise SynthesisError(f"malformed netlist for {name}: {problems[:3]}")
+        sp.set(states=sg.num_states, cubes=len(cover), gates=len(arch.netlist.gates))
     return NShotCircuit(
         sg=sg,
         spec=spec,

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..netlist.netlist import Netlist
+from ..obs import get_metrics, trace_span
 from ..sg.graph import StateGraph
 from ..sim import (
     SGEnvironment,
@@ -116,6 +117,47 @@ def run_oracle(
     their mid-traversal injections.
     """
     seed = config.seed if config.seed is not None else 0
+    with trace_span("oracle", circuit=netlist.name, seed=seed) as sp:
+        verdict, filtered = _run_oracle_inner(
+            netlist,
+            sg,
+            config,
+            seed,
+            env_seed=env_seed,
+            max_time=max_time,
+            max_transitions=max_transitions,
+            input_delay=input_delay,
+            internal_nets=internal_nets,
+            arm=arm,
+        )
+        sp.set(
+            status=verdict.status,
+            events=verdict.events,
+            transitions=verdict.transitions,
+            mhs_filtered=filtered,
+        )
+    metrics = get_metrics()
+    metrics.counter("sim.runs").add(1)
+    metrics.counter("sim.events").add(verdict.events)
+    metrics.counter("sim.transitions").add(verdict.transitions)
+    metrics.counter("mhs.pulses_filtered").add(filtered)
+    return verdict
+
+
+def _run_oracle_inner(
+    netlist: Netlist,
+    sg: StateGraph,
+    config: SimConfig,
+    seed: int,
+    *,
+    env_seed: int | None,
+    max_time: float,
+    max_transitions: int,
+    input_delay: tuple[float, float],
+    internal_nets: list[str] | None,
+    arm,
+) -> tuple[OracleVerdict, int]:
+    """The oracle body; returns (verdict, MHS pulses filtered)."""
     sim = Simulator(netlist, config)
     env = SGEnvironment(
         sg,
@@ -136,7 +178,7 @@ def run_oracle(
             transitions=env.report.transitions_observed,
             final_time=sim.now,
             events=sim.events_processed,
-        )
+        ), sim.mhs_pulses_filtered
     except SimulationError as e:
         return OracleVerdict(
             status="error",
@@ -145,7 +187,7 @@ def run_oracle(
             transitions=env.report.transitions_observed,
             final_time=sim.now,
             events=sim.events_processed,
-        )
+        ), sim.mhs_pulses_filtered
     except Exception as e:  # graceful degradation: record, don't abort
         return OracleVerdict(
             status="error",
@@ -154,7 +196,7 @@ def run_oracle(
             transitions=env.report.transitions_observed,
             final_time=sim.now,
             events=sim.events_processed,
-        )
+        ), sim.mhs_pulses_filtered
     hazards: HazardReport = analyze_hazards(
         sim.traces,
         observable_nets=observable,
@@ -176,7 +218,7 @@ def run_oracle(
         observable_glitches=hazards.observable_total,
         final_time=report.final_time,
         events=sim.events_processed,
-    )
+    ), sim.mhs_pulses_filtered
 
 
 @dataclass
@@ -251,25 +293,29 @@ def verify_hazard_freeness(
         jitter = circuit.designed_spread
     summary = VerificationSummary()
     sg = circuit.sg
-    for k in range(runs):
-        seed = base_seed + k
-        verdict = run_oracle(
-            circuit.netlist,
-            sg,
-            SimConfig(jitter=jitter, seed=seed, max_events=max_events),
-            max_time=max_time,
-            max_transitions=max_transitions,
-            input_delay=input_delay,
-            internal_nets=circuit.architecture.sop_nets,
-        )
-        summary.runs.append(
-            VerificationRun(
-                seed=seed,
-                ok=verdict.ok,
-                transitions=verdict.transitions,
-                internal_glitches=verdict.internal_glitches,
-                observable_glitches=verdict.observable_glitches,
-                errors=verdict.errors,
+    with trace_span(
+        "verify", circuit=circuit.netlist.name, runs=runs, jitter=jitter
+    ) as sp:
+        for k in range(runs):
+            seed = base_seed + k
+            verdict = run_oracle(
+                circuit.netlist,
+                sg,
+                SimConfig(jitter=jitter, seed=seed, max_events=max_events),
+                max_time=max_time,
+                max_transitions=max_transitions,
+                input_delay=input_delay,
+                internal_nets=circuit.architecture.sop_nets,
             )
-        )
+            summary.runs.append(
+                VerificationRun(
+                    seed=seed,
+                    ok=verdict.ok,
+                    transitions=verdict.transitions,
+                    internal_glitches=verdict.internal_glitches,
+                    observable_glitches=verdict.observable_glitches,
+                    errors=verdict.errors,
+                )
+            )
+        sp.set(ok=summary.ok, transitions=summary.total_transitions)
     return summary

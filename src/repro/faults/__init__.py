@@ -21,7 +21,14 @@ from .models import (
     rebuild_netlist,
 )
 from .campaign import FaultCampaign, WatchdogLimits, run_campaign
-from .report import CampaignResult, FaultOutcome, PointRecord
+from .report import (
+    CAMPAIGN_SCHEMA,
+    CAMPAIGN_SCHEMAS,
+    CampaignResult,
+    FaultOutcome,
+    PointRecord,
+    parse_campaign_json,
+)
 
 __all__ = [
     "FaultModel",
@@ -40,4 +47,7 @@ __all__ = [
     "CampaignResult",
     "FaultOutcome",
     "PointRecord",
+    "CAMPAIGN_SCHEMA",
+    "CAMPAIGN_SCHEMAS",
+    "parse_campaign_json",
 ]

@@ -25,6 +25,7 @@ locally instead of shipping netlists over the pipe.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import threading
 import time as _time
@@ -32,6 +33,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..core.verify import run_oracle
+from ..obs import MetricsRegistry, Tracer, get_metrics, get_tracer, set_metrics, set_tracer, trace_span
 from ..sim.simulator import SimConfig
 from .models import FaultModel, enumerate_faults
 from .report import CampaignResult, PointRecord
@@ -112,60 +114,113 @@ def _verdict_outcome(status: str) -> str:
     }[status]
 
 
-def _run_unit(payload) -> list[PointRecord]:
-    """Run every seed of one (circuit, fault) unit; never raises."""
-    (name, fault, seeds, jitter, limits, stop_on_detect) = payload
+def _run_unit(payload) -> tuple[list[PointRecord], dict | None, dict | None]:
+    """Run every seed of one (circuit, fault) unit; never raises.
+
+    Returns ``(records, trace_export, metrics_export)``.  The exports
+    are None when the unit ran in the parent process (its spans and
+    counters already landed in the parent's tracer/registry) and
+    picklable snapshots when it ran in a pool worker, so the parent can
+    merge them into one trace.
+    """
+    (name, fault, seeds, jitter, limits, stop_on_detect, trace) = payload
+    # A pool worker inherits (fork) or lacks (spawn) the parent's tracer;
+    # either way its spans cannot reach the parent buffer directly, so
+    # record into a fresh local tracer/registry and ship them home.
+    tracer = get_tracer()
+    foreign = trace and (tracer.pid != os.getpid() or not tracer.enabled)
+    prev_tracer = prev_metrics = None
+    if foreign:
+        prev_tracer, prev_metrics = get_tracer(), get_metrics()
+        set_tracer(Tracer())
+        set_metrics(MetricsRegistry())
+    try:
+        records = _run_unit_points(
+            name, fault, seeds, jitter, limits, stop_on_detect
+        )
+    finally:
+        if foreign:
+            trace_export = get_tracer().export()
+            metrics_export = get_metrics().export()
+            set_tracer(prev_tracer)
+            set_metrics(prev_metrics)
+    if foreign:
+        return records, trace_export, metrics_export
+    return records, None, None
+
+
+def _run_unit_points(
+    name: str,
+    fault: FaultModel,
+    seeds: int,
+    jitter: float,
+    limits: WatchdogLimits,
+    stop_on_detect: bool,
+) -> list[PointRecord]:
     golden = fault.kind == "golden"
     records: list[PointRecord] = []
-    try:
-        sg, circuit = _circuit_for(name, jitter)
-        netlist = fault.apply_netlist(circuit.netlist)
-        internal = circuit.architecture.sop_nets if golden else None
-    except Exception as e:  # fault not applicable / synthesis failure
-        return [
-            PointRecord(
-                circuit=name,
-                fault_kind=fault.kind,
-                fault=fault.describe(),
-                seed=-1,
-                outcome="error",
-                detail=f"fault application failed: {type(e).__name__}: {e}",
-            )
-        ]
-    # golden baselines only need a few seeds of evidence
-    seed_list = range(min(seeds, 3) if golden else seeds)
-    for seed in seed_list:
-        t0 = _time.perf_counter()
+    with trace_span(
+        "campaign-unit", circuit=name, fault=fault.describe()
+    ) as sp:
         try:
-            config = fault.apply_config(
-                SimConfig(
-                    jitter=jitter,
-                    seed=seed,
-                    max_events=limits.max_events,
-                    max_sim_time=limits.max_time * 2,
+            sg, circuit = _circuit_for(name, jitter)
+            netlist = fault.apply_netlist(circuit.netlist)
+            internal = circuit.architecture.sop_nets if golden else None
+        except Exception as e:  # fault not applicable / synthesis failure
+            return [
+                PointRecord(
+                    circuit=name,
+                    fault_kind=fault.kind,
+                    fault=fault.describe(),
+                    seed=-1,
+                    outcome="error",
+                    detail=f"fault application failed: {type(e).__name__}: {e}",
                 )
-            )
-            with _wall_clock_guard(limits.wall_clock):
-                verdict = run_oracle(
-                    netlist,
-                    sg,
-                    config,
-                    max_time=limits.max_time,
-                    max_transitions=limits.max_transitions,
-                    internal_nets=internal,
-                    arm=fault.arm,
+            ]
+        # golden baselines only need a few seeds of evidence
+        seed_list = range(min(seeds, 3) if golden else seeds)
+        for seed in seed_list:
+            # one timing site per point: every outcome path below funnels
+            # into the single PointRecord construction at the bottom
+            t0 = _time.perf_counter()
+            transitions = events = 0
+            try:
+                config = fault.apply_config(
+                    SimConfig(
+                        jitter=jitter,
+                        seed=seed,
+                        max_events=limits.max_events,
+                        max_sim_time=limits.max_time * 2,
+                    )
                 )
-            outcome = _verdict_outcome(verdict.status)
-            # a faulty circuit that never moves is dead, not conformant
-            if (
-                not golden
-                and outcome == "undetected"
-                and verdict.transitions == 0
-            ):
-                outcome = "detected"
-                detail = "circuit dead: zero observable transitions"
-            else:
-                detail = verdict.errors[0] if verdict.errors else ""
+                with _wall_clock_guard(limits.wall_clock):
+                    verdict = run_oracle(
+                        netlist,
+                        sg,
+                        config,
+                        max_time=limits.max_time,
+                        max_transitions=limits.max_transitions,
+                        internal_nets=internal,
+                        arm=fault.arm,
+                    )
+                outcome = _verdict_outcome(verdict.status)
+                # a faulty circuit that never moves is dead, not conformant
+                if (
+                    not golden
+                    and outcome == "undetected"
+                    and verdict.transitions == 0
+                ):
+                    outcome = "detected"
+                    detail = "circuit dead: zero observable transitions"
+                else:
+                    detail = verdict.errors[0] if verdict.errors else ""
+                transitions, events = verdict.transitions, verdict.events
+            except _WallClockTimeout:
+                outcome = "timeout"
+                detail = f"wall clock exceeded {limits.wall_clock}s"
+            except Exception as e:  # pragma: no cover - last-resort degradation
+                outcome = "error"
+                detail = f"{type(e).__name__}: {e}"
             records.append(
                 PointRecord(
                     circuit=name,
@@ -174,41 +229,18 @@ def _run_unit(payload) -> list[PointRecord]:
                     seed=seed,
                     outcome=outcome,
                     detail=detail,
-                    transitions=verdict.transitions,
-                    events=verdict.events,
+                    transitions=transitions,
+                    events=events,
                     runtime=_time.perf_counter() - t0,
                 )
             )
-        except _WallClockTimeout:
-            records.append(
-                PointRecord(
-                    circuit=name,
-                    fault_kind=fault.kind,
-                    fault=fault.describe(),
-                    seed=seed,
-                    outcome="timeout",
-                    detail=f"wall clock exceeded {limits.wall_clock}s",
-                    runtime=_time.perf_counter() - t0,
-                )
-            )
-        except Exception as e:  # pragma: no cover - last-resort degradation
-            records.append(
-                PointRecord(
-                    circuit=name,
-                    fault_kind=fault.kind,
-                    fault=fault.describe(),
-                    seed=seed,
-                    outcome="error",
-                    detail=f"{type(e).__name__}: {e}",
-                    runtime=_time.perf_counter() - t0,
-                )
-            )
-        if (
-            stop_on_detect
-            and not golden
-            and records[-1].outcome != "undetected"
-        ):
-            break
+            if (
+                stop_on_detect
+                and not golden
+                and records[-1].outcome != "undetected"
+            ):
+                break
+        sp.set(points=len(records), outcome=records[-1].outcome if records else "none")
     return records
 
 
@@ -262,16 +294,41 @@ class FaultCampaign:
         return out
 
     def run(self, jobs: int = 1) -> CampaignResult:
-        """Execute the sweep, optionally fanned out over processes."""
+        """Execute the sweep, optionally fanned out over processes.
+
+        When tracing is enabled, worker spans (one ``campaign-unit``
+        per fault, ``oracle`` spans nested inside) are shipped back
+        over the pool pipe and merged under this call's
+        ``fault-campaign`` span — one coherent trace regardless of
+        ``jobs``; worker metrics merge into the parent registry too.
+        """
+        tracer = get_tracer()
         payloads = [
-            (name, fault, self.seeds, self.jitter, self.limits, self.stop_on_detect)
+            (
+                name,
+                fault,
+                self.seeds,
+                self.jitter,
+                self.limits,
+                self.stop_on_detect,
+                tracer.enabled,
+            )
             for name, fault in self.units()
         ]
-        if jobs > 1 and len(payloads) > 1:
-            with multiprocessing.Pool(processes=jobs) as pool:
-                batches = pool.map(_run_unit, payloads)
-        else:
-            batches = [_run_unit(p) for p in payloads]
+        with trace_span(
+            "fault-campaign", circuits=",".join(self.circuits), jobs=jobs
+        ) as sp:
+            if jobs > 1 and len(payloads) > 1:
+                with multiprocessing.Pool(processes=jobs) as pool:
+                    outputs = pool.map(_run_unit, payloads)
+            else:
+                outputs = [_run_unit(p) for p in payloads]
+            batches = []
+            for records, trace_export, metrics_export in outputs:
+                batches.append(records)
+                tracer.adopt(trace_export, parent_id=sp.id)
+                get_metrics().merge(metrics_export)
+            sp.set(units=len(batches))
         result = CampaignResult(
             circuits=list(self.circuits),
             seeds=self.seeds,

@@ -29,9 +29,21 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["PointRecord", "FaultOutcome", "CampaignResult", "OUTCOMES"]
+__all__ = [
+    "PointRecord",
+    "FaultOutcome",
+    "CampaignResult",
+    "OUTCOMES",
+    "CAMPAIGN_SCHEMA",
+    "CAMPAIGN_SCHEMAS",
+    "parse_campaign_json",
+]
 
 OUTCOMES = ("detected", "undetected", "timeout", "error")
+
+#: current writer schema; /1 lacked per-outcome runtime aggregation
+CAMPAIGN_SCHEMA = "repro-fault-campaign/2"
+CAMPAIGN_SCHEMAS = ("repro-fault-campaign/1", CAMPAIGN_SCHEMA)
 
 #: aggregation priority: the "strongest" per-seed outcome labels the fault
 _RANK = {"detected": 3, "timeout": 2, "error": 1, "undetected": 0}
@@ -62,6 +74,8 @@ class FaultOutcome:
     outcome: str
     seeds_run: int
     detail: str = ""
+    #: wall-clock seconds spent across all seeds of this fault
+    runtime: float = 0.0
 
     @property
     def covered(self) -> bool:
@@ -98,9 +112,19 @@ class CampaignResult:
                     outcome=best.outcome,
                     seeds_run=len(recs),
                     detail=best.detail,
+                    runtime=round(sum(r.runtime for r in recs), 6),
                 )
             )
         return out
+
+    def runtime_by_outcome(self) -> dict[str, float]:
+        """Total wall-clock seconds per point outcome (baselines under
+        the pseudo-outcome ``golden``) — where the campaign's time went."""
+        out = {k: 0.0 for k in OUTCOMES}
+        for r in self.records:
+            out[r.outcome] = out.get(r.outcome, 0.0) + r.runtime
+        out["golden"] = sum(r.runtime for r in self.baselines)
+        return {k: round(v, 6) for k, v in out.items()}
 
     def outcome_counts(self) -> dict[str, int]:
         """Per-fault (not per-seed) outcome histogram."""
@@ -135,10 +159,16 @@ class CampaignResult:
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
         """Stable machine-readable schema (documented in
-        docs/ARCHITECTURE.md, "Fault injection & robustness")."""
+        docs/ARCHITECTURE.md, "Fault injection & robustness").
+
+        ``repro-fault-campaign/2`` adds per-fault ``runtime`` and the
+        campaign-level ``runtime_by_outcome`` aggregation; everything
+        of /1 is kept, so /1 readers that ignore unknown keys still
+        work, and :func:`parse_campaign_json` reads both versions.
+        """
         counts = self.outcome_counts()
         return {
-            "schema": "repro-fault-campaign/1",
+            "schema": CAMPAIGN_SCHEMA,
             "circuits": self.circuits,
             "seeds": self.seeds,
             "jitter": self.jitter,
@@ -148,6 +178,7 @@ class CampaignResult:
             "coverage": round(self.coverage, 4),
             "baseline_ok": self.baseline_ok,
             "outcomes": counts,
+            "runtime_by_outcome": self.runtime_by_outcome(),
             "faults": [asdict(fo) for fo in self.fault_outcomes()],
             "points": [asdict(r) for r in self.records],
             "baselines": [asdict(r) for r in self.baselines],
@@ -158,6 +189,7 @@ class CampaignResult:
 
     def render_text(self) -> str:
         counts = self.outcome_counts()
+        runtimes = self.runtime_by_outcome()
         lines = [
             f"fault campaign: {len(self.circuits)} circuit(s), "
             f"{self.num_faults} faults, {len(self.records)} points "
@@ -165,6 +197,10 @@ class CampaignResult:
             f"  baseline (golden) runs clean: {self.baseline_ok}",
             "  outcomes per fault: "
             + ", ".join(f"{k}={counts[k]}" for k in OUTCOMES),
+            "  runtime per outcome: "
+            + ", ".join(
+                f"{k}={v:.2f}s" for k, v in runtimes.items() if v > 0
+            ),
             f"  fault coverage: {100 * self.coverage:.1f}%",
         ]
         rows = sorted(
@@ -190,3 +226,34 @@ class CampaignResult:
                 )
             )
         return "\n".join(lines)
+
+
+def _point_from_dict(d: dict) -> PointRecord:
+    known = {f for f in PointRecord.__dataclass_fields__}
+    return PointRecord(**{k: v for k, v in d.items() if k in known})
+
+
+def parse_campaign_json(doc: dict | str) -> CampaignResult:
+    """Read a campaign report back into a :class:`CampaignResult`.
+
+    Accepts both ``repro-fault-campaign/1`` and ``/2`` documents (the
+    /2 additions — per-fault runtime, ``runtime_by_outcome`` — are
+    derived aggregates, so a /1 document round-trips losslessly from
+    its point records).  Raises :class:`ValueError` on unknown schemas.
+    """
+    if isinstance(doc, str):
+        doc = json.loads(doc)
+    schema = doc.get("schema")
+    if schema not in CAMPAIGN_SCHEMAS:
+        raise ValueError(
+            f"unknown campaign schema {schema!r} (expected one of "
+            f"{', '.join(CAMPAIGN_SCHEMAS)})"
+        )
+    return CampaignResult(
+        records=[_point_from_dict(d) for d in doc.get("points", [])],
+        baselines=[_point_from_dict(d) for d in doc.get("baselines", [])],
+        circuits=list(doc.get("circuits", [])),
+        seeds=int(doc.get("seeds", 0)),
+        jitter=float(doc.get("jitter", 0.0)),
+        limits=dict(doc.get("limits", {})),
+    )

@@ -19,6 +19,7 @@ another), exactly the sharing the paper permits.
 
 from __future__ import annotations
 
+from ..obs import get_metrics, trace_span
 from .complement import complement, cube_sharp
 from .cover import Cover
 from .cube import Cube
@@ -234,11 +235,25 @@ def espresso(
         A prime, irredundant multi-output cover of the interval
         ``[F, F ∪ D]``.
     """
+    with trace_span("espresso", inputs=on.num_inputs, outputs=on.num_outputs) as sp:
+        result, iterations = _espresso_loop(on, dc, off, max_iterations)
+        sp.set(iterations=iterations, cubes=len(result))
+    get_metrics().counter("espresso.iterations").add(iterations)
+    return result
+
+
+def _espresso_loop(
+    on: Cover,
+    dc: Cover | None,
+    off: Cover | None,
+    max_iterations: int,
+) -> tuple[Cover, int]:
+    """The EXPAND/IRREDUNDANT/REDUCE loop; returns (cover, iterations)."""
     if off is None:
         off = make_offset(on, dc)
     work = on.drop_empty().single_cube_containment()
     if not work.cubes:
-        return work
+        return work, 0
     work = expand(work, off)
     work = irredundant(work, dc)
 
@@ -259,7 +274,9 @@ def espresso(
 
     best = work.copy()
     best_cost = _loop_cost(best, essential)
+    iterations = 0
     for _ in range(max_iterations):
+        iterations += 1
         work = reduce_cover(work, dc_aug)
         work = expand(work, off) if work.cubes else work
         work = irredundant(work, dc_aug)
@@ -270,7 +287,7 @@ def espresso(
             break
 
     final = Cover(on.num_inputs, on.num_outputs, essential + best.cubes)
-    return final.single_cube_containment()
+    return final.single_cube_containment(), iterations
 
 
 def _loop_cost(cover: Cover, essential: list[Cube]) -> tuple[int, int]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import get_metrics, trace_span
 from .cover import Cover
 from .espresso import espresso
 from .exact import exact_minimize
@@ -54,6 +55,19 @@ def minimize(
     """
     if off is not None and _overlaps(on, off):
         raise MinimizationError("ON-set and OFF-set overlap")
+    with trace_span("minimize", method=method, outputs=on.num_outputs) as sp:
+        result = _dispatch(on, dc, off, method)
+        cubes, literals = len(result), result.num_literals()
+        sp.set(cubes=cubes, literals=literals)
+    metrics = get_metrics()
+    metrics.gauge("minimize.cubes").set(cubes)
+    metrics.gauge("minimize.literals").set(literals)
+    return result
+
+
+def _dispatch(
+    on: Cover, dc: Cover | None, off: Cover | None, method: str
+) -> Cover:
     if method == "espresso":
         return espresso(on, dc, off)
     if method == "exact":

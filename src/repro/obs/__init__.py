@@ -1,0 +1,54 @@
+"""Observability: structured tracing, metrics, and the bench harness.
+
+Dependency-free (stdlib only) so every pipeline layer can import the
+instrumentation hooks without cycles:
+
+* :mod:`repro.obs.trace` — span tracer (no-op by default, enable with
+  :func:`set_tracer`/:class:`tracing`); exports ``repro-trace/1`` JSON
+  and Chrome ``trace_event`` files;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with
+  percentile summaries;
+* :mod:`repro.obs.harness` — the machine-readable benchmark harness
+  behind ``repro bench`` (imported lazily: it depends on the synthesis
+  stack).
+
+See docs/OBSERVABILITY.md for schemas and instrumentation guidance.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    percentile,
+    set_metrics,
+)
+from .trace import (
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_span,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "percentile",
+    "TRACE_SCHEMA",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "trace_span",
+    "traced",
+    "tracing",
+]

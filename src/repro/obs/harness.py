@@ -1,0 +1,292 @@
+"""Machine-readable benchmark harness — the ``repro bench`` engine.
+
+Runs the paper benchmark suite end-to-end per circuit — STG
+elaboration (reachability), region extraction, minimization, netlist
+build, delay evaluation, and closed-loop Monte-Carlo verification —
+under a fresh tracer + metrics registry per measured run, then writes
+``BENCH_<UTC-date>.json`` with per-phase wall-time medians/p90s and
+the pipeline work metrics (simulator events processed, MHS pulses
+filtered, ESPRESSO iterations, cover cube/literal counts, reachability
+states explored) plus an environment fingerprint.
+
+The emitted document validates against the ``repro-bench/1`` schema
+(see :func:`validate_bench` and docs/OBSERVABILITY.md); it is the perf
+trajectory every optimisation PR diffs against.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+from .metrics import MetricsRegistry, get_metrics, percentile, set_metrics
+from .trace import Tracer, tracing
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "WORK_METRICS",
+    "bench_circuit",
+    "default_bench_path",
+    "environment_fingerprint",
+    "quick_circuits",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: registry instrument name → bench-document metric key
+WORK_METRICS = {
+    "sim.events": "sim_events",
+    "sim.transitions": "sim_transitions",
+    "sim.runs": "sim_runs",
+    "mhs.pulses_filtered": "mhs_pulses_filtered",
+    "espresso.iterations": "espresso_iterations",
+    "minimize.cubes": "cover_cubes",
+    "minimize.literals": "cover_literals",
+    "reachability.states": "reachability_states",
+    "regions.computed": "regions_computed",
+    "delays.evaluated": "delays_evaluated",
+}
+
+#: small, fast circuits for ``--quick`` (CI smoke)
+_QUICK = ("chu150", "chu172", "converta", "pmcm2")
+
+
+def quick_circuits() -> list[str]:
+    return list(_QUICK)
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except Exception:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> dict:
+    """Where this benchmark ran: enough to explain a perf delta."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": _git_sha(),
+        "argv": sys.argv[:4],
+    }
+
+
+def _utc_now() -> datetime.datetime:
+    return datetime.datetime.now(datetime.timezone.utc)
+
+
+def default_bench_path(directory: str = ".") -> str:
+    """``BENCH_<UTC-date>.json`` in ``directory``."""
+    stamp = _utc_now().strftime("%Y-%m-%d")
+    return os.path.join(directory, f"BENCH_{stamp}.json")
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def bench_circuit(
+    name: str,
+    runs: int = 3,
+    verify_runs: int = 3,
+    verify_transitions: int = 40,
+    seed: int = 0,
+) -> tuple[dict, Tracer]:
+    """Measure one circuit ``runs`` times end to end.
+
+    Each measured run gets a fresh enabled tracer and a fresh metrics
+    registry, so per-run numbers never bleed into each other.  Returns
+    the per-circuit bench entry plus the tracer of the *last* run (for
+    Chrome-trace export).
+    """
+    from ..bench.runner import sg_of
+    from ..core import synthesize, verify_hazard_freeness
+
+    phase_runs: dict[str, list[float]] = {}
+    phase_calls: dict[str, int] = {}
+    totals: list[float] = []
+    metrics_doc: dict[str, int] = {}
+    states = 0
+    tracer = Tracer()
+    prev_metrics = get_metrics()
+    for k in range(runs):
+        tracer = Tracer()
+        registry = set_metrics(MetricsRegistry())
+        t0 = time.perf_counter()
+        try:
+            with tracing(tracer), tracer.span("bench-run", circuit=name, run=k):
+                sg = sg_of(name)
+                circuit = synthesize(sg, name=name)
+                verify_hazard_freeness(
+                    circuit,
+                    runs=verify_runs,
+                    max_transitions=verify_transitions,
+                    base_seed=seed,
+                )
+        finally:
+            set_metrics(prev_metrics)
+        totals.append(time.perf_counter() - t0)
+        states = sg.num_states
+        for phase, agg in tracer.phase_totals().items():
+            phase_runs.setdefault(phase, []).append(agg["total_s"])
+            phase_calls[phase] = agg["calls"]
+        snap = registry.snapshot()
+        flat = dict(snap["counters"])
+        flat.update(snap["gauges"])
+        for inst, key in WORK_METRICS.items():
+            metrics_doc[key] = int(flat.get(inst, metrics_doc.get(key, 0)))
+    phases = {
+        phase: {
+            "median_s": round(percentile(samples, 0.5), 6),
+            "p90_s": round(percentile(samples, 0.9), 6),
+            "calls": phase_calls[phase],
+        }
+        for phase, samples in sorted(phase_runs.items())
+    }
+    entry = {
+        "name": name,
+        "states": states,
+        "runs": runs,
+        "phases": phases,
+        "metrics": metrics_doc,
+        "total": {
+            "median_s": round(percentile(totals, 0.5), 6),
+            "p90_s": round(percentile(totals, 0.9), 6),
+        },
+    }
+    return entry, tracer
+
+
+def run_bench(
+    circuits: list[str] | None = None,
+    quick: bool = False,
+    runs: int | None = None,
+    verify_runs: int | None = None,
+    chrome_trace: str | None = None,
+    progress=None,
+) -> dict:
+    """Run the harness over ``circuits`` and return the bench document.
+
+    ``circuits`` defaults to the whole paper suite (Table 2 names), or
+    the small quick subset when ``quick`` is set.  ``progress`` is an
+    optional ``fn(name, entry)`` callback invoked after each circuit.
+    """
+    from ..bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
+
+    if circuits is None:
+        circuits = (
+            quick_circuits()
+            if quick
+            else list(DISTRIBUTIVE_BENCHMARKS) + list(NONDISTRIBUTIVE_BENCHMARKS)
+        )
+    if runs is None:
+        runs = 1 if quick else 3
+    if verify_runs is None:
+        verify_runs = 1 if quick else 3
+    t0 = time.perf_counter()
+    entries = []
+    last_tracer: Tracer | None = None
+    for name in circuits:
+        entry, tracer = bench_circuit(name, runs=runs, verify_runs=verify_runs)
+        entries.append(entry)
+        last_tracer = tracer
+        if progress is not None:
+            progress(name, entry)
+    if chrome_trace and last_tracer is not None:
+        last_tracer.write_chrome(chrome_trace)
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": _utc_now().strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "quick": bool(quick),
+        "runs_per_circuit": runs,
+        "verify_runs": verify_runs,
+        "env": environment_fingerprint(),
+        "circuits": entries,
+        "totals": {
+            "wall_s": round(time.perf_counter() - t0, 6),
+            "circuits": len(entries),
+        },
+    }
+
+
+def write_bench(doc: dict, path: str | None = None) -> str:
+    """Write the bench document (default ``BENCH_<UTC-date>.json``)."""
+    path = path or default_bench_path()
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+def _check_timing(problems: list[str], where: str, timing) -> None:
+    if not isinstance(timing, dict):
+        problems.append(f"{where}: not an object")
+        return
+    for key in ("median_s", "p90_s"):
+        v = timing.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            problems.append(f"{where}.{key}: missing or negative")
+
+
+def validate_bench(doc) -> list[str]:
+    """Validate a ``repro-bench/1`` document; returns problems ([] = ok)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema: expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        problems.append("env: missing or not an object")
+    else:
+        for key in ("python", "platform", "cpu_count"):
+            if key not in env:
+                problems.append(f"env.{key}: missing")
+    circuits = doc.get("circuits")
+    if not isinstance(circuits, list) or not circuits:
+        problems.append("circuits: missing or empty")
+        return problems
+    for i, entry in enumerate(circuits):
+        where = f"circuits[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not entry.get("name"):
+            problems.append(f"{where}.name: missing")
+        phases = entry.get("phases")
+        if not isinstance(phases, dict) or not phases:
+            problems.append(f"{where}.phases: missing or empty")
+        else:
+            for phase, timing in phases.items():
+                _check_timing(problems, f"{where}.phases[{phase}]", timing)
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append(f"{where}.metrics: missing or not an object")
+        else:
+            for key, v in metrics.items():
+                if not isinstance(v, int) or v < 0:
+                    problems.append(f"{where}.metrics.{key}: not a non-negative int")
+        _check_timing(problems, f"{where}.total", entry.get("total"))
+    return problems

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import get_metrics, trace_span
 from .graph import StateGraph, StateId, Transition
 
 __all__ = [
@@ -295,11 +296,14 @@ class SignalRegions:
 
 def signal_regions(sg: StateGraph, signal: int) -> SignalRegions:
     """Compute all ER/QR pairs of a non-input signal."""
-    ers = excitation_regions(sg, signal)
-    sr = SignalRegions(signal)
-    for er in ers:
-        sr.excitation.append(er)
-        sr.quiescent.append(quiescent_region_of(sg, er))
+    with trace_span("regions", signal=sg.signals[signal]) as sp:
+        ers = excitation_regions(sg, signal)
+        sr = SignalRegions(signal)
+        for er in ers:
+            sr.excitation.append(er)
+            sr.quiescent.append(quiescent_region_of(sg, er))
+        sp.set(excitation=len(sr.excitation))
+    get_metrics().counter("regions.computed").add(len(sr.excitation))
     return sr
 
 

@@ -86,6 +86,10 @@ class MhsState:
     #: (start, end) of resolved set/reset overlap episodes
     overlaps: list[tuple[float, float]] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
+    #: input pulses absorbed because they were narrower than ω — the
+    #: first filtering stage at work (Figure 4, v < ω); observability
+    #: counters aggregate this across all flip-flops of a run
+    filtered: int = 0
 
     # ------------------------------------------------------------------
     def _overlap_update(self, time: float) -> None:
@@ -118,6 +122,7 @@ class MhsState:
                 width = time - self._set_window
                 if width < self.params.omega:
                     self._set_window = None  # absorbed (Figure 4, v < ω)
+                    self.filtered += 1
                 # width >= omega: the commit was already registered by
                 # check_windows(); nothing to do here.
             # set releasing may let a blocked reset drive through
@@ -141,6 +146,7 @@ class MhsState:
                 width = time - self._reset_window
                 if width < self.params.omega:
                     self._reset_window = None
+                    self.filtered += 1
             if self.set_level == 1 and self.q == 0 and self._set_window is None \
                     and not self._has_pending(1):
                 self._set_window = time

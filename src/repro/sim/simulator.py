@@ -25,6 +25,7 @@ from typing import Callable
 from ..netlist.gates import Gate, GateType
 from ..netlist.library import DEFAULT_LIBRARY, Library
 from ..netlist.netlist import Netlist
+from ..obs import trace_span
 from .mhs import MhsParams, MhsState
 from .waveform import TraceSet
 
@@ -171,6 +172,10 @@ class Simulator:
         the values reach a fixed point (the netlists built here have no
         combinational cycles).
         """
+        with trace_span("sim-initialize", circuit=self.netlist.name):
+            self._initialize(input_values)
+
+    def _initialize(self, input_values: dict[str, int]) -> None:
         for net in self.netlist.primary_inputs:
             self.values[net] = int(input_values.get(net, 0))
         for g in self.netlist.gates:
@@ -430,6 +435,13 @@ class Simulator:
                 self._post(time + self.config.cel_tau, g.output_n, 1 - fire)
 
     # ------------------------------------------------------------------
+    @property
+    def mhs_pulses_filtered(self) -> int:
+        """Input pulses absorbed by the ω threshold across all MHS
+        flip-flops — the pulse-filtering work the architecture exists
+        for, surfaced for the observability counters."""
+        return sum(st.filtered for st in self._mhs.values())
+
     def mhs_violations(self) -> list[str]:
         """Set/reset overlap violations recorded by the MHS models."""
         out = list(self.violations)

@@ -14,6 +14,7 @@ another ``x-``) is reported as an inconsistency.
 
 from __future__ import annotations
 
+from ..obs import get_metrics, trace_span
 from ..sg.graph import StateGraph, Transition
 from .petrinet import Stg, StgError
 
@@ -75,7 +76,14 @@ def elaborate(stg: Stg, max_states: int = 200000) -> StateGraph:
     codings (``x+`` enabled while ``x = 1``) or state explosion beyond
     ``max_states``.
     """
-    values = infer_initial_values(stg)
+    with trace_span("reachability", stg=getattr(stg, "name", "?")) as sp:
+        sg = _elaborate_traced(stg, max_states, sp)
+    return sg
+
+
+def _elaborate_traced(stg: Stg, max_states: int, sp) -> StateGraph:
+    with trace_span("initial-values"):
+        values = infer_initial_values(stg)
     signals = stg.signals
     sig_index = {s: i for i, s in enumerate(signals)}
     sg = StateGraph(signals, stg.input_signals)
@@ -93,6 +101,7 @@ def elaborate(stg: Stg, max_states: int = 200000) -> StateGraph:
     sg.set_initial(start)
     stack = [start]
     visited = {start}
+    arcs = 0
     while stack:
         marking, code = state = stack.pop()
         for t in stg.enabled(marking):
@@ -117,4 +126,8 @@ def elaborate(stg: Stg, max_states: int = 200000) -> StateGraph:
             else:
                 sg.add_state(nxt, new_code)
             sg.add_arc(state, Transition(idx, t.direction), nxt)
+            arcs += 1
+    sp.set(states=len(visited), arcs=arcs)
+    get_metrics().gauge("reachability.states").set(len(visited))
+    get_metrics().counter("reachability.arcs").add(arcs)
     return sg

@@ -299,7 +299,7 @@ class TestCampaign:
     def test_json_report_schema(self):
         res = run_campaign(["c_element"], seeds=2)
         doc = json.loads(res.render_json())
-        assert doc["schema"] == "repro-fault-campaign/1"
+        assert doc["schema"] == "repro-fault-campaign/2"
         assert doc["circuits"] == ["c_element"]
         assert set(doc["outcomes"]) == {
             "detected", "undetected", "timeout", "error",
@@ -311,6 +311,67 @@ class TestCampaign:
             assert point["outcome"] in (
                 "detected", "undetected", "timeout", "error",
             )
+            assert point["runtime"] >= 0.0
+
+    def test_runtime_accounting(self):
+        """/2 additions: per-fault runtime sums its points, and the
+        per-outcome totals account for every second the sweep spent."""
+        res = run_campaign(["c_element"], seeds=2)
+        doc = res.to_json()
+        by_outcome = doc["runtime_by_outcome"]
+        assert set(by_outcome) == {
+            "detected", "undetected", "timeout", "error", "golden",
+        }
+        assert all(v >= 0.0 for v in by_outcome.values())
+        # every executed point took measurable time
+        assert all(r.runtime > 0.0 for r in res.records if r.seed >= 0)
+        assert all(r.runtime > 0.0 for r in res.baselines)
+        # per-fault runtime is the sum over that fault's seeds
+        for fo in res.fault_outcomes():
+            expected = sum(
+                r.runtime for r in res.records if r.fault == fo.fault
+            )
+            assert fo.runtime == pytest.approx(expected, abs=1e-5)
+        # outcome totals tie back to the raw points
+        total_points = sum(r.runtime for r in res.records)
+        total_outcomes = sum(
+            v for k, v in by_outcome.items() if k != "golden"
+        )
+        assert total_outcomes == pytest.approx(total_points, abs=1e-3)
+        assert "runtime per outcome:" in res.render_text()
+
+    def test_parse_campaign_json_roundtrip(self):
+        from repro.faults import parse_campaign_json
+
+        res = run_campaign(["c_element"], seeds=2)
+        back = parse_campaign_json(res.render_json())
+        assert back.to_json() == res.to_json()
+
+    def test_parse_campaign_json_reads_v1(self):
+        """A /1 document (no runtime keys) still parses: the /2
+        aggregates are recomputed from its point records."""
+        from repro.faults import parse_campaign_json
+
+        res = run_campaign(["c_element"], seeds=2)
+        doc = res.to_json()
+        doc["schema"] = "repro-fault-campaign/1"
+        del doc["runtime_by_outcome"]
+        for rows in (doc["faults"], doc["points"], doc["baselines"]):
+            for row in rows:
+                row.pop("runtime", None)
+        back = parse_campaign_json(json.dumps(doc))
+        assert back.circuits == ["c_element"]
+        assert len(back.records) == len(res.records)
+        assert back.baseline_ok == res.baseline_ok
+        # runtimes were absent in /1 → zeros, but structure is intact
+        assert back.to_json()["schema"] == "repro-fault-campaign/2"
+        assert all(v == 0.0 for v in back.runtime_by_outcome().values())
+
+    def test_parse_campaign_json_rejects_unknown_schema(self):
+        from repro.faults import parse_campaign_json
+
+        with pytest.raises(ValueError, match="unknown campaign schema"):
+            parse_campaign_json({"schema": "repro-fault-campaign/99"})
 
     def test_text_report_lists_escapes(self):
         res = FaultCampaign(
