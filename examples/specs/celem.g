@@ -1,0 +1,13 @@
+# Muller C-element (Figure 2 of the paper): 8 states, distributive.
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end

@@ -1,0 +1,11 @@
+# Two-phase handshake follower: the smallest single-traversal spec.
+.model seq
+.inputs r
+.outputs y
+.graph
+r+ y+
+y+ r-
+r- y-
+y- r+
+.marking { <y-,r+> }
+.end

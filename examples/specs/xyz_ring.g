@@ -1,0 +1,13 @@
+# Three-signal ring oscillator stage with one input and two outputs.
+.model xyz
+.inputs x
+.outputs y z
+.graph
+x+ y+
+y+ z+
+z+ x-
+x- y-
+y- z-
+z- x+
+.marking { <z-,x+> }
+.end

@@ -28,6 +28,8 @@ Package map:
 * :mod:`repro.core` — the N-SHOT synthesis flow (the contribution);
 * :mod:`repro.baselines` — SIS/Lavagno, SYN/Beerel and complex-gate
   comparison flows;
+* :mod:`repro.analysis` — the static-analysis rule engine behind
+  ``repro lint`` and the synthesizer's pre-flight validation;
 * :mod:`repro.bench` — Table 2 benchmark reconstructions and runner.
 """
 
@@ -61,6 +63,14 @@ from .baselines import (
     synthesize_lavagno,
 )
 from .bench import run_benchmark, run_table2
+from .analysis import (
+    AnalysisResult,
+    Diagnostic,
+    Severity,
+    analyze,
+    render_sarif,
+    run_preflight,
+)
 
 __version__ = "1.0.0"
 
@@ -102,5 +112,11 @@ __all__ = [
     "synthesize_lavagno",
     "run_benchmark",
     "run_table2",
+    "AnalysisResult",
+    "Diagnostic",
+    "Severity",
+    "analyze",
+    "render_sarif",
+    "run_preflight",
     "__version__",
 ]

@@ -1,0 +1,66 @@
+"""Static analysis: the N-SHOT lint engine.
+
+Theorem 2 reduces hazard-freeness of an N-SHOT implementation to
+statically checkable preconditions — semi-modularity with input
+choices, CSC, the single-cube trigger requirement (Theorem 1) and the
+delay requirement (Equation (1)).  This package turns those checks
+(plus netlist-level structural audits) into a first-class diagnostics
+engine:
+
+* :mod:`repro.analysis.diagnostics` — :class:`Diagnostic` /
+  :class:`Severity` / :class:`Location`;
+* :mod:`repro.analysis.registry` — the ``@rule(...)`` registry;
+* :mod:`repro.analysis.rules_sg` / ``rules_trigger`` /
+  ``rules_netlist`` — the built-in rule catalog (see
+  docs/ANALYSIS.md);
+* :mod:`repro.analysis.engine` — phased execution
+  (:func:`run_rules`, :func:`analyze`, :func:`run_preflight`);
+* :mod:`repro.analysis.export` — text / ``repro-lint/1`` JSON /
+  SARIF 2.1.0 renderers;
+* :mod:`repro.analysis.baseline` — baseline suppression files.
+
+The synthesizer's pre-flight validation and the ``repro lint`` CLI
+both consume this engine — there is no second validation path.
+"""
+
+from .baseline import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    build_baseline,
+    load_baseline,
+)
+from .context import LintContext
+from .diagnostics import Diagnostic, Location, Severity
+from .engine import AnalysisResult, analyze, run_preflight, run_rules
+from .export import LINT_SCHEMA, render_json, render_sarif, render_text
+from .registry import Rule, RuleMeta, RuleRegistry, Scope, default_registry, rule
+
+# importing the rule modules registers the built-in catalog
+from . import rules_sg as _rules_sg  # noqa: F401  (registration side effect)
+from . import rules_trigger as _rules_trigger  # noqa: F401
+from . import rules_netlist as _rules_netlist  # noqa: F401
+
+__all__ = [
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "Rule",
+    "RuleMeta",
+    "RuleRegistry",
+    "Scope",
+    "rule",
+    "default_registry",
+    "LintContext",
+    "AnalysisResult",
+    "analyze",
+    "run_rules",
+    "run_preflight",
+    "LINT_SCHEMA",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "BASELINE_SCHEMA",
+    "build_baseline",
+    "load_baseline",
+    "apply_baseline",
+]

@@ -1,0 +1,81 @@
+"""Baseline suppression: accept today's findings, gate tomorrow's.
+
+A baseline file (``repro-lint-baseline/1`` JSON) records the
+fingerprints of known findings so ``repro lint --baseline`` only fails
+on *new* diagnostics — the standard way to adopt a linter on a
+codebase with existing debt.  Fingerprints hash the target name, rule
+id, location and message, so a finding moving to a different state or
+gate counts as new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from .engine import AnalysisResult
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "fingerprint",
+    "build_baseline",
+    "baseline_fingerprints",
+    "load_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+def fingerprint(target: str, key: str) -> str:
+    """Stable hash of one diagnostic's identity within one target."""
+    return hashlib.sha1(f"{target}|{key}".encode()).hexdigest()[:16]
+
+
+def build_baseline(results: list[AnalysisResult]) -> dict[str, object]:
+    """Baseline document accepting every current finding."""
+    entries: dict[str, dict[str, str]] = {}
+    for r in results:
+        for d in r.diagnostics:
+            fp = fingerprint(r.name, d.fingerprint_key())
+            entries[fp] = {
+                "target": r.name,
+                "rule": d.rule_id,
+                "location": d.location.render(),
+                "message": d.message,
+            }
+    return {"schema": BASELINE_SCHEMA, "entries": entries}
+
+
+def baseline_fingerprints(doc: dict[str, object]) -> set[str]:
+    """The suppressed fingerprint set of a baseline document."""
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"not a {BASELINE_SCHEMA} document (schema={doc.get('schema')!r})"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, dict):
+        raise ValueError("baseline document has no entries mapping")
+    return set(entries)
+
+
+def load_baseline(path: str) -> set[str]:
+    """Read a baseline file into a fingerprint set."""
+    with open(path) as f:
+        doc = json.load(f)
+    return baseline_fingerprints(doc)
+
+
+def apply_baseline(
+    results: list[AnalysisResult], fingerprints: set[str]
+) -> list[AnalysisResult]:
+    """Filter every result against the suppressed fingerprint set."""
+    out: list[AnalysisResult] = []
+    for r in results:
+        suppressed_keys = {
+            d.fingerprint_key()
+            for d in r.diagnostics
+            if fingerprint(r.name, d.fingerprint_key()) in fingerprints
+        }
+        out.append(r.suppress(suppressed_keys))
+    return out

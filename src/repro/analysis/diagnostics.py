@@ -1,0 +1,90 @@
+"""Structured diagnostics for the static-analysis subsystem.
+
+A :class:`Diagnostic` is one finding of one rule: a stable rule id, a
+severity, a precise :class:`Location` (a state, a state pair, a
+signal, an excitation/trigger region, a cube, or a netlist gate/net),
+a human-readable message and an optional fix-it hint.  Diagnostics are
+plain data — every exporter (text, ``repro-lint/1`` JSON, SARIF
+2.1.0) and the baseline-suppression machinery renders the same
+objects, and the ``data`` mapping carries the original witness objects
+so legacy aggregate reports (``SGValidationReport``) can be rebuilt
+from engine output without a second validation path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["Severity", "Location", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    @property
+    def sarif_level(self) -> str:
+        """SARIF 2.1.0 ``level`` value for this severity."""
+        return {"info": "note", "warning": "warning", "error": "error"}[self.value]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic anchors.
+
+    ``kind`` names the anchor class; ``detail`` is its human-readable
+    identity (a state id repr, a region label, a gate name, …);
+    ``path`` is the source spec file when the analysis target came from
+    one (drives the SARIF physical location).
+    """
+
+    kind: str  # "state" | "state-pair" | "signal" | "region" | "cube" | "gate" | "net" | "graph"
+    detail: str
+    path: str | None = None
+
+    def render(self) -> str:
+        prefix = f"{self.path}: " if self.path else ""
+        return f"{prefix}{self.kind} {self.detail}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: Location
+    hint: str | None = None
+    #: original witness objects (rule-specific), excluded from equality
+    data: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    def fingerprint_key(self) -> str:
+        """Stable identity used by the baseline-suppression file."""
+        return "|".join(
+            (self.rule_id, self.location.kind, self.location.detail, self.message)
+        )
+
+    def render(self) -> str:
+        line = (
+            f"{self.severity.value}[{self.rule_id}] "
+            f"{self.location.render()}: {self.message}"
+        )
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line

@@ -10,6 +10,8 @@ Mirrors how the paper's compiler was driven::
     python -m repro faults --circuit c_element  # fault-injection campaign
     python -m repro bench --quick               # machine-readable benchmark
     python -m repro synth ctrl.g --profile      # per-phase timing to stderr
+    python -m repro lint ctrl.g --suite         # static-analysis rule catalog
+    python -m repro lint --suite --format sarif # SARIF 2.1.0 for CI uploads
 """
 
 from __future__ import annotations
@@ -110,17 +112,52 @@ def _with_profile(args: argparse.Namespace, body) -> int:
     return code
 
 
+def _lint_gate(args: argparse.Namespace, name: str, sg) -> int:
+    """Pre-flight lint gate for synth/compare (``--lint``, the default).
+
+    Returns 0 to proceed; on error-severity findings prints the
+    diagnostic list — rule ids, locations, hints — instead of letting
+    :class:`SynthesisError` escape as a raw exception, and returns 1.
+    """
+    if not args.lint:
+        return 0
+    from .analysis import run_preflight
+
+    report = run_preflight(sg, name=name)
+    if report.ok:
+        return 0
+    print(
+        f"error: {name} fails the Theorem 2 preconditions "
+        f"({report.errors} finding(s)):",
+        file=sys.stderr,
+    )
+    for d in sorted(
+        report.diagnostics, key=lambda d: (-d.severity.rank, d.rule_id)
+    ):
+        print("  " + d.render(), file=sys.stderr)
+    print(
+        "hint: `repro lint` runs the full rule catalog; "
+        "--no-lint skips this gate",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
     return _with_profile(args, lambda: _synth_body(args))
 
 
 def _synth_body(args: argparse.Namespace) -> int:
     stg, sg = _load_sg(args.file)
+    if _lint_gate(args, stg.name, sg):
+        return 1
+    # the gate already ran the preflight rules (or the user opted out)
     circuit = synthesize(
         sg,
         name=stg.name,
         method=args.method,
         delay_spread=args.spread,
+        validate=False,
     )
     print(circuit.describe())
     if args.pla:
@@ -148,6 +185,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def _compare_body(args: argparse.Namespace) -> int:
     stg, sg = _load_sg(args.file)
+    if _lint_gate(args, stg.name, sg):
+        return 1
     rows = []
     for label, flow in (
         ("SIS/Lavagno", synthesize_lavagno),
@@ -160,11 +199,136 @@ def _compare_body(args: argparse.Namespace) -> int:
             rows.append((label, "(1) non-distributive"))
         except StateSignalsRequiredError:
             rows.append((label, "(2) state signals required"))
-    rows.append(("N-SHOT", synthesize(sg, name=stg.name).stats().row()))
+    # preflight already ran in the lint gate (or the user opted out)
+    rows.append(
+        ("N-SHOT", synthesize(sg, name=stg.name, validate=False).stats().row())
+    )
     width = max(len(r[0]) for r in rows)
     for label, cell in rows:
         print(f"{label:<{width}}  {cell}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    return _with_profile(args, lambda: _lint_body(args))
+
+
+def _lint_body(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import os
+
+    from .analysis import (
+        analyze,
+        apply_baseline,
+        build_baseline,
+        default_registry,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+
+    if args.list_rules:
+        rules = default_registry().all()
+        width = max(len(r.meta.id) for r in rules)
+        for r in rules:
+            pre = " [preflight]" if r.meta.preflight else ""
+            print(
+                f"{r.meta.id:<{width}}  {r.meta.severity.value:<7} "
+                f"{r.meta.scope.value:<7}{pre}  {r.meta.title}"
+            )
+        return 0
+
+    targets: list[tuple[str, str | None]] = [
+        (os.path.splitext(os.path.basename(p))[0], p) for p in args.files
+    ]
+    if args.suite:
+        from .bench import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
+
+        targets.extend(
+            (bname, None)
+            for bname in (*DISTRIBUTIVE_BENCHMARKS, *NONDISTRIBUTIVE_BENCHMARKS)
+        )
+    if not targets:
+        print(
+            "error: no lint targets (pass .g/.sg files and/or --suite)",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = set(args.select.split(",")) if args.select else None
+    ignore = set(args.ignore.split(",")) if args.ignore else None
+    known = set(default_registry().ids())
+    unknown = ((select or set()) | (ignore or set())) - known
+    if unknown:
+        print(
+            f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    results = []
+    for name, source in targets:
+        try:
+            if source is not None:
+                sg = _load_sg(source)[1]
+            else:
+                from .bench import sg_of
+
+                sg = sg_of(name)
+        except FileNotFoundError:
+            raise
+        except Exception as exc:
+            # a spec the front-end cannot even elaborate is an internal
+            # failure of the lint run, not a rule finding
+            print(
+                f"error: failed to load {source or name}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        results.append(
+            analyze(
+                sg,
+                name=name,
+                source=source,
+                spread=args.spread,
+                method=args.method,
+                select=select,
+                ignore=ignore,
+            )
+        )
+
+    if args.write_baseline:
+        doc = build_baseline(results)
+        with open(args.write_baseline, "w") as f:
+            json_mod.dump(doc, f, indent=2)
+            f.write("\n")
+        print(
+            f"wrote {args.write_baseline}: "
+            f"{len(doc['entries'])} finding(s) baselined"
+        )
+        return 0
+
+    if args.baseline:
+        results = apply_baseline(results, load_baseline(args.baseline))
+
+    if args.format == "json":
+        rendered = render_json(results)
+    elif args.format == "sarif":
+        rendered = render_sarif(results)
+    else:
+        rendered = render_text(results, verbose=args.verbose)
+
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered + "\n")
+        print(f"wrote {args.output}")
+        if args.format == "text":
+            print(rendered)
+    else:
+        print(rendered)
+
+    return max(r.exit_code(strict=args.strict) for r in results)
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -292,6 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-phase span tree (timings + metrics) to stderr",
     )
+    p_synth.add_argument(
+        "--lint",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="pre-flight the Theorem-2 lint rules before synthesis "
+        "(--no-lint skips the gate)",
+    )
     p_synth.set_defaults(func=cmd_synth)
 
     p_cmp = sub.add_parser("compare", help="run every flow on one STG")
@@ -301,7 +472,74 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-phase span tree (timings + metrics) to stderr",
     )
+    p_cmp.add_argument(
+        "--lint",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="pre-flight the Theorem-2 lint rules before synthesis "
+        "(--no-lint skips the gate)",
+    )
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static-analysis rule catalog over specs"
+    )
+    p_lint.add_argument(
+        "files", nargs="*", help=".g STG / .sg state-graph files"
+    )
+    p_lint.add_argument(
+        "--suite",
+        action="store_true",
+        help="also lint every paper benchmark circuit",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="report format (json = repro-lint/1, sarif = SARIF 2.1.0)",
+    )
+    p_lint.add_argument("-o", "--output", help="write the report to a file")
+    p_lint.add_argument(
+        "--baseline", help="suppress findings recorded in this baseline file"
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the baseline and exit",
+    )
+    p_lint.add_argument(
+        "--select", help="comma-separated rule ids to run (default: all)"
+    )
+    p_lint.add_argument("--ignore", help="comma-separated rule ids to skip")
+    p_lint.add_argument(
+        "--strict", action="store_true", help="exit 1 on warnings too"
+    )
+    p_lint.add_argument(
+        "--spread",
+        type=float,
+        default=0.0,
+        help="delay spread assumed by the Equation (1) rule (DL001)",
+    )
+    p_lint.add_argument(
+        "--method", choices=["espresso", "exact"], default="espresso"
+    )
+    p_lint.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="list clean targets in the text report too",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule catalog and exit",
+    )
+    p_lint.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase span tree (timings + metrics) to stderr",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2")
     p_t2.add_argument("circuits", nargs="*", help="subset of benchmark names")

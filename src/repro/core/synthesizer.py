@@ -18,12 +18,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from ..analysis.engine import run_preflight
 from ..logic import Cover, minimize, verify_cover
 from ..netlist import DEFAULT_LIBRARY, Library, Netlist, NetlistStats
 from ..obs import trace_span
 from ..sg.graph import StateGraph
-from ..sg.properties import validate_for_synthesis
 from ..sg.regions import is_single_traversal
 from .architecture import ArchitectureResult, build_nshot_netlist
 from .delays import DelayRequirement, compute_delay_requirement
@@ -31,11 +32,26 @@ from .initialization import InitDecision, analyze_initialization
 from .sop_derivation import SopSpec, derive_sop_spec
 from .trigger import check_trigger_cubes, enforce_trigger_cubes
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.diagnostics import Diagnostic
+
 __all__ = ["NShotCircuit", "SynthesisError", "synthesize"]
 
 
 class SynthesisError(ValueError):
-    """Raised when an SG violates the Theorem 2 preconditions."""
+    """Raised when an SG violates the Theorem 2 preconditions.
+
+    When raised by the pre-flight pass, ``diagnostics`` carries the
+    structured findings of the static-analysis rule engine (the same
+    objects ``repro lint`` reports), so callers can render rule ids,
+    locations and hints instead of one opaque string.
+    """
+
+    def __init__(
+        self, message: str, diagnostics: "list[Diagnostic] | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics: "list[Diagnostic]" = diagnostics or []
 
 
 @dataclass
@@ -120,10 +136,20 @@ def synthesize(
     """
     with trace_span("synthesize", circuit=name, method=method) as sp:
         if validate:
+            # pre-flight: the Theorem-2 precondition rules of the
+            # static-analysis engine (consistency, CSC, semi-modularity)
+            # — the same registry `repro lint` runs
             with trace_span("validate"):
-                report = validate_for_synthesis(sg)
-            if not report.ok:
-                raise SynthesisError(report.summary())
+                preflight = run_preflight(sg, name=name)
+            if not preflight.ok:
+                detail = "; ".join(
+                    f"[{rid}] {len(ds)} finding(s), e.g. {ds[0].message}"
+                    for rid, ds in preflight.by_rule().items()
+                )
+                raise SynthesisError(
+                    f"SG fails the Theorem 2 preconditions: {detail}",
+                    diagnostics=preflight.diagnostics,
+                )
 
         spec = derive_sop_spec(sg)
         if share_products:

@@ -30,6 +30,7 @@ __all__ = [
     "TriggerCheck",
     "check_trigger_cubes",
     "enforce_trigger_cubes",
+    "trigger_infeasibilities",
     "TriggerRequirementError",
 ]
 
@@ -97,6 +98,31 @@ def check_trigger_cubes(
                     if not any(_cube_covers_region(sg, c, tr) for c in col):
                         chk.uncovered.append(tr)
             out.append(chk)
+    return out
+
+
+def trigger_infeasibilities(spec: SopSpec) -> list[tuple[int, str, Region]]:
+    """Trigger regions that can never satisfy Theorem 1, cover-independent.
+
+    Returns ``(signal, kind, region)`` triples whose state-set
+    supercube intersects the corresponding OFF-set: by Theorem 1 no
+    single cube can cover such a region, so no hazard-free N-SHOT
+    implementation exists without transforming the SG.  This predicate
+    is shared by :func:`enforce_trigger_cubes` (which raises on it) and
+    the static-analysis rule ``TR001`` (which reports it).
+    """
+    sg = spec.sg
+    out: list[tuple[int, str, Region]] = []
+    for signal in sg.non_inputs:
+        for er in spec.regions[signal].excitation:
+            kind = "set" if er.rising else "reset"
+            o = spec.output_index(signal, kind)
+            bit = 1 << o
+            off_col = spec.off.restrict_outputs(bit)
+            for tr in trigger_regions(sg, er):
+                sc = _region_supercube(sg, tr).with_outputs(bit)
+                if off_col.intersects_cube(sc):
+                    out.append((signal, kind, tr))
     return out
 
 

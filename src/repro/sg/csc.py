@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .graph import SGError, StateGraph, StateId, Transition
-from .properties import csc_violations
+from .properties import code_conflicts
 
 __all__ = ["CscConflict", "csc_report", "insert_state_signal"]
 
@@ -46,19 +46,19 @@ class CscConflict:
 
 
 def csc_report(sg: StateGraph) -> list[CscConflict]:
-    """Structured CSC conflict report (empty when CSC holds)."""
-    out = []
-    for a, b in csc_violations(sg):
-        out.append(
-            CscConflict(
-                a,
-                b,
-                sg.code(a),
-                sg.excited_non_inputs(a),
-                sg.excited_non_inputs(b),
-            )
-        )
-    return out
+    """Structured CSC conflict report (empty when CSC holds).
+
+    Shares one code-grouping traversal with
+    :func:`repro.sg.properties.csc_violations` (via
+    :func:`~repro.sg.properties.code_conflicts`): the conflict pairs,
+    their codes, and both excitation sets all come from that single
+    scan instead of being recomputed here.
+    """
+    return [
+        CscConflict(c.state_a, c.state_b, c.code, c.excited_a, c.excited_b)
+        for c in code_conflicts(sg)
+        if c.csc
+    ]
 
 
 def insert_state_signal(

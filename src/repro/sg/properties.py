@@ -23,7 +23,11 @@ from dataclasses import dataclass
 from .graph import StateGraph, StateId, Transition
 
 __all__ = [
+    "ConsistencyWitness",
+    "consistency_witnesses",
     "check_consistency",
+    "CodeConflict",
+    "code_conflicts",
     "csc_violations",
     "satisfies_csc",
     "usc_violations",
@@ -35,8 +39,18 @@ __all__ = [
 ]
 
 
-def check_consistency(sg: StateGraph) -> list[str]:
-    """Return a list of consistency violations (empty when consistent).
+@dataclass(frozen=True)
+class ConsistencyWitness:
+    """One arc violating the consistent state assignment rules."""
+
+    state: StateId
+    transition: Transition
+    dest: StateId
+    message: str
+
+
+def consistency_witnesses(sg: StateGraph) -> list[ConsistencyWitness]:
+    """Structured consistency violations (empty when consistent).
 
     Checks every arc obeys the state assignment rules: a ``+x`` arc
     flips exactly bit ``x`` from 0 to 1, a ``-x`` arc from 1 to 0.
@@ -52,13 +66,71 @@ def check_consistency(sg: StateGraph) -> list[str]:
             expect = (0, 1) if t.rising else (1, 0)
             if (sv, dv) != expect:
                 problems.append(
-                    f"arc {t.label(sg.signals)} at {s!r} has values {sv}->{dv}"
+                    ConsistencyWitness(
+                        s,
+                        t,
+                        d,
+                        f"arc {t.label(sg.signals)} at {s!r} has values {sv}->{dv}",
+                    )
                 )
             if (sg.code(s) ^ sg.code(d)) != (1 << t.signal):
                 problems.append(
-                    f"arc {t.label(sg.signals)} at {s!r} changes other signals"
+                    ConsistencyWitness(
+                        s,
+                        t,
+                        d,
+                        f"arc {t.label(sg.signals)} at {s!r} changes other signals",
+                    )
                 )
     return problems
+
+
+def check_consistency(sg: StateGraph) -> list[str]:
+    """Consistency violations as human-readable strings (legacy view)."""
+    return [w.message for w in consistency_witnesses(sg)]
+
+
+@dataclass(frozen=True)
+class CodeConflict:
+    """Two distinct states sharing a binary code.
+
+    ``csc`` is True when the pair also violates Complete State Coding
+    (different excited non-input sets); pairs with ``csc=False`` are
+    USC-only conflicts.  This single scan backs ``csc_violations``,
+    ``usc_violations`` and :func:`repro.sg.csc.csc_report`.
+    """
+
+    state_a: StateId
+    state_b: StateId
+    code: int
+    excited_a: frozenset[int]
+    excited_b: frozenset[int]
+
+    @property
+    def csc(self) -> bool:
+        return self.excited_a != self.excited_b
+
+
+def code_conflicts(sg: StateGraph) -> list[CodeConflict]:
+    """All pairs of distinct states sharing a code — one traversal.
+
+    The deduplicated core of the USC/CSC diagnostics: group states by
+    code once, compute each state's excited non-input set once, and
+    emit every pair with its excitation sets attached.
+    """
+    by_code: dict[int, list[StateId]] = {}
+    for s in sg.states():
+        by_code.setdefault(sg.code(s), []).append(s)
+    out: list[CodeConflict] = []
+    for code, states in by_code.items():
+        if len(states) < 2:
+            continue
+        excited = {s: sg.excited_non_inputs(s) for s in states}
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                a, b = states[i], states[j]
+                out.append(CodeConflict(a, b, code, excited[a], excited[b]))
+    return out
 
 
 def csc_violations(sg: StateGraph) -> list[tuple[StateId, StateId]]:
@@ -67,19 +139,7 @@ def csc_violations(sg: StateGraph) -> list[tuple[StateId, StateId]]:
     Two states conflict when they share a binary code but differ in
     their sets of excited non-input signals.
     """
-    by_code: dict[int, list[StateId]] = {}
-    for s in sg.states():
-        by_code.setdefault(sg.code(s), []).append(s)
-    bad = []
-    for code, states in by_code.items():
-        if len(states) < 2:
-            continue
-        for i in range(len(states)):
-            for j in range(i + 1, len(states)):
-                a, b = states[i], states[j]
-                if sg.excited_non_inputs(a) != sg.excited_non_inputs(b):
-                    bad.append((a, b))
-    return bad
+    return [(c.state_a, c.state_b) for c in code_conflicts(sg) if c.csc]
 
 
 def satisfies_csc(sg: StateGraph) -> bool:
@@ -89,15 +149,7 @@ def satisfies_csc(sg: StateGraph) -> bool:
 
 def usc_violations(sg: StateGraph) -> list[tuple[StateId, StateId]]:
     """Pairs of distinct states sharing a binary code (Unique State Coding)."""
-    by_code: dict[int, list[StateId]] = {}
-    for s in sg.states():
-        by_code.setdefault(sg.code(s), []).append(s)
-    bad = []
-    for states in by_code.values():
-        for i in range(len(states)):
-            for j in range(i + 1, len(states)):
-                bad.append((states[i], states[j]))
-    return bad
+    return [(c.state_a, c.state_b) for c in code_conflicts(sg)]
 
 
 @dataclass(frozen=True)
@@ -179,9 +231,35 @@ class SGValidationReport:
 
 
 def validate_for_synthesis(sg: StateGraph) -> SGValidationReport:
-    """Run every check Theorem 2 requires before synthesis."""
+    """Run every check Theorem 2 requires before synthesis.
+
+    Backed by the static-analysis rule engine: the pre-flight rules
+    (``SG001`` consistency, ``SG002`` CSC, ``SG004`` semi-modularity)
+    run over the graph and this report is rebuilt from their
+    diagnostics, so there is exactly one validation path whether a
+    caller goes through ``repro lint``, the synthesizer, or this
+    legacy aggregate.  (Imported lazily: the analysis package imports
+    this module for its check primitives.)
+    """
+    from ..analysis.engine import run_preflight
+
+    result = run_preflight(sg)
+    consistency: list[str] = []
+    csc: list[tuple[StateId, StateId]] = []
+    semimodularity: list[SemimodularityViolation] = []
+    for d in result.diagnostics:
+        if d.rule_id == "SG001":
+            consistency.append(str(d.data["witness_message"]))
+        elif d.rule_id == "SG002":
+            pair = d.data["pair"]
+            assert isinstance(pair, tuple)
+            csc.append((pair[0], pair[1]))
+        elif d.rule_id == "SG004":
+            violation = d.data["violation"]
+            assert isinstance(violation, SemimodularityViolation)
+            semimodularity.append(violation)
     return SGValidationReport(
-        consistency=check_consistency(sg),
-        csc=csc_violations(sg),
-        semimodularity=semimodularity_violations(sg),
+        consistency=consistency,
+        csc=csc,
+        semimodularity=semimodularity,
     )

@@ -1,0 +1,155 @@
+"""Tests for `repro lint` and the synth/compare `--lint` gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.circuits import figure1_sg
+from repro.cli import main
+from repro.sg.sgformat import write_sg
+
+CELEM_G = """
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+@pytest.fixture()
+def gfile(tmp_path) -> pathlib.Path:
+    p = tmp_path / "celem.g"
+    p.write_text(CELEM_G)
+    return p
+
+
+@pytest.fixture()
+def badfile(tmp_path) -> pathlib.Path:
+    """The Figure 1 CSC-conflicted graph as a .sg file."""
+    p = tmp_path / "figure1.sg"
+    p.write_text(write_sg(figure1_sg(), name="figure1"))
+    return p
+
+
+class TestLint:
+    def test_clean_spec_exits_zero(self, gfile, capsys):
+        assert main(["lint", str(gfile)]) == 0
+        assert "celem: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, badfile, capsys):
+        assert main(["lint", str(badfile)]) == 1
+        out = capsys.readouterr().out
+        assert "SG002" in out
+        assert "share code" in out
+
+    def test_no_targets_exit_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no lint targets" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["lint", "/nonexistent.g"]) == 1
+
+    def test_malformed_file_exit_two(self, tmp_path, capsys):
+        p = tmp_path / "garbage.sg"
+        p.write_text("not a specification")
+        assert main(["lint", str(p)]) == 2
+        assert "failed to load" in capsys.readouterr().err
+
+    def test_unknown_rule_id_exit_two(self, gfile, capsys):
+        assert main(["lint", str(gfile), "--select", "NOPE"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_select_isolates_rules(self, badfile, capsys):
+        assert main(["lint", str(badfile), "--select", "SG002"]) == 1
+        # the CSC pairs are SG002's, not SG003's
+        assert main(["lint", str(badfile), "--select", "SG003"]) == 0
+
+    def test_ignoring_a_gate_rule_contains_the_crash(self, badfile, capsys):
+        """Suppressing SG002 lets the cover scope run on an ill-posed
+        spec; the resulting minimizer crash is contained as an ENGINE
+        internal error (exit 2), not a traceback."""
+        assert main(["lint", str(badfile), "--ignore", "SG002"]) == 2
+        assert "ENGINE" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SG001" in out
+        assert "[preflight]" in out
+        assert "NL001" in out
+
+    def test_json_format(self, gfile, capsys):
+        assert main(["lint", str(gfile), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-lint/1"
+        assert doc["targets"][0]["name"] == "celem"
+
+    def test_sarif_format_and_output_file(self, badfile, tmp_path, capsys):
+        out_path = tmp_path / "report.sarif"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(badfile),
+                    "--format",
+                    "sarif",
+                    "-o",
+                    str(out_path),
+                ]
+            )
+            == 1
+        )
+        doc = json.loads(out_path.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "SG002"
+        # SARIF documents carry the source file as a physical location
+        uri = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+        assert uri == str(badfile)
+
+    def test_baseline_round_trip(self, badfile, tmp_path, capsys):
+        base = tmp_path / "baseline.json"
+        assert main(["lint", str(badfile), "--write-baseline", str(base)]) == 0
+        doc = json.loads(base.read_text())
+        assert doc["schema"] == "repro-lint-baseline/1"
+        assert len(doc["entries"]) == 4
+
+        assert main(["lint", str(badfile), "--baseline", str(base)]) == 0
+        assert "4 suppressed" in capsys.readouterr().out
+
+    def test_suite_smoke(self, capsys):
+        """One real suite circuit keeps the --suite path honest without
+        linting the whole benchmark set in the unit tests."""
+        assert main(["lint", "--suite", "--select", "SG002"]) == 0
+
+
+class TestSynthGate:
+    def test_gate_aborts_with_diagnostics(self, badfile, capsys):
+        assert main(["synth", str(badfile)]) == 1
+        err = capsys.readouterr().err
+        assert "Theorem 2 preconditions" in err
+        assert "SG002" in err
+        assert "--no-lint" in err
+
+    def test_clean_spec_synthesizes(self, gfile, capsys):
+        assert main(["synth", str(gfile)]) == 0
+        assert "N-SHOT circuit" in capsys.readouterr().out
+
+    def test_no_lint_skips_the_gate(self, gfile, capsys):
+        assert main(["synth", str(gfile), "--no-lint"]) == 0
+
+    def test_compare_gate(self, badfile, capsys):
+        assert main(["compare", str(badfile)]) == 1
+        assert "Theorem 2 preconditions" in capsys.readouterr().err
