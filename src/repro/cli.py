@@ -9,6 +9,8 @@ Mirrors how the paper's compiler was driven::
     python -m repro table2 [circuit ...]        # regenerate Table 2
     python -m repro faults --circuit c_element  # fault-injection campaign
     python -m repro bench --quick               # machine-readable benchmark
+    python -m repro regress --baseline BENCH_2026-08-06.json  # perf gate
+    python -m repro synth ctrl.g --verify --vcd ctrl.vcd      # waveform dump
     python -m repro synth ctrl.g --profile      # per-phase timing to stderr
     python -m repro lint ctrl.g --suite         # static-analysis rule catalog
     python -m repro lint --suite --format sarif # SARIF 2.1.0 for CI uploads
@@ -172,11 +174,35 @@ def _synth_body(args: argparse.Namespace) -> int:
         with open(args.output, "w") as f:
             f.write(write_verilog(circuit.netlist))
         print(f"wrote {args.output}")
-    if args.verify:
-        summary = verify_hazard_freeness(circuit, runs=args.runs)
-        print(summary.summary())
-        return 0 if summary.ok else 2
+    if args.verify or args.vcd:
+        from .obs.telemetry import HazardTelemetry
+
+        # telemetry rides the verify sweep; a bare --vcd still needs one
+        # oracle run to have traces to dump
+        tele = HazardTelemetry.for_circuit(circuit) if args.verify else None
+        summary = verify_hazard_freeness(
+            circuit,
+            runs=args.runs if args.verify else 1,
+            telemetry=tele,
+            keep_traces=bool(args.vcd),
+        )
+        if args.vcd:
+            _write_vcd_file(args.vcd, summary.traces)
+        if args.verify:
+            print(summary.summary())
+            if tele is not None:
+                print(tele.render_text())
+            return 0 if summary.ok else 2
     return 0
+
+
+def _write_vcd_file(path: str, traces) -> None:
+    """Dump a verification run's TraceSet (internal SOP nets included)."""
+    from .sim.vcd import write_vcd
+
+    with open(path, "w") as f:
+        f.write(write_vcd(traces))
+    print(f"wrote {path} ({len(list(traces.nets()))} nets)")
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -200,12 +226,14 @@ def _compare_body(args: argparse.Namespace) -> int:
         except StateSignalsRequiredError:
             rows.append((label, "(2) state signals required"))
     # preflight already ran in the lint gate (or the user opted out)
-    rows.append(
-        ("N-SHOT", synthesize(sg, name=stg.name, validate=False).stats().row())
-    )
+    nshot = synthesize(sg, name=stg.name, validate=False)
+    rows.append(("N-SHOT", nshot.stats().row()))
     width = max(len(r[0]) for r in rows)
     for label, cell in rows:
         print(f"{label:<{width}}  {cell}")
+    if args.vcd:
+        summary = verify_hazard_freeness(nshot, runs=1, keep_traces=True)
+        _write_vcd_file(args.vcd, summary.traces)
     return 0
 
 
@@ -369,6 +397,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         limits=WatchdogLimits(
             max_events=args.max_events, max_time=args.max_time
         ),
+        collect_telemetry=args.telemetry,
     )
     result = campaign.run(jobs=args.jobs)
     rendered = result.render_text() if args.text else result.render_json()
@@ -402,6 +431,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             runs=args.runs,
             chrome_trace=args.chrome_trace,
+            telemetry=args.telemetry,
             progress=progress,
         )
     except KeyError as e:
@@ -420,7 +450,66 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"wrote {path}: {doc['totals']['circuits']} circuits in "
         f"{doc['totals']['wall_s']:.1f}s ({doc['schema']})"
     )
+    if args.history:
+        from .obs.registry import RunHistory
+
+        entry = RunHistory(args.history_dir).append("bench", doc)
+        print(f"history: {entry.describe()}")
     return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    from .obs.regress import Thresholds, load_baseline, run_regress
+
+    def progress(name: str, entry: dict) -> None:
+        total = entry["total"]["median_s"]
+        print(f"  {name}: {total * 1e3:8.1f} ms median", file=sys.stderr)
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    try:
+        report = run_regress(
+            baseline,
+            circuits=args.circuits or None,
+            quick=args.quick,
+            thresholds=Thresholds(
+                rel=args.rel, abs_s=args.abs_s, confirm_runs=args.confirm
+            ),
+            remeasure=args.remeasure,
+            progress=progress,
+        )
+    except (KeyError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json as json_mod
+
+        rendered = json_mod.dumps(report.to_json_doc(), indent=2)
+    else:
+        rendered = report.render_text()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered + "\n")
+        print(f"wrote {args.output}")
+        if args.format == "text":
+            print(rendered)
+    else:
+        print(rendered)
+    if args.markdown:
+        with open(args.markdown, "w") as f:
+            f.write(report.render_markdown() + "\n")
+        print(f"wrote {args.markdown}")
+    if args.history:
+        from .obs.registry import RunHistory
+
+        entry = RunHistory(args.history_dir).append(
+            "regress", report.to_json_doc()
+        )
+        print(f"history: {entry.describe()}")
+    return report.exit_code()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -452,6 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_synth.add_argument("--runs", type=int, default=5)
     p_synth.add_argument(
+        "--vcd",
+        metavar="PATH",
+        help="dump the verification run's waveforms (internal SOP nets "
+        "included) as VCD",
+    )
+    p_synth.add_argument(
         "--profile",
         action="store_true",
         help="print the per-phase span tree (timings + metrics) to stderr",
@@ -467,6 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="run every flow on one STG")
     p_cmp.add_argument("file", help=".g STG file")
+    p_cmp.add_argument(
+        "--vcd",
+        metavar="PATH",
+        help="dump an N-SHOT verification run's waveforms as VCD",
+    )
     p_cmp.add_argument(
         "--profile",
         action="store_true",
@@ -578,6 +678,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point simulated-time budget in ns",
     )
     p_f.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach hazard telemetry (ω-margin, delay slack) per point",
+    )
+    p_f.add_argument(
         "--text", action="store_true", help="human-readable report instead of JSON"
     )
     p_f.add_argument("-o", "--output", help="write the report to a file")
@@ -611,8 +716,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome-trace",
         help="also write the last run's spans as Chrome trace_event JSON",
     )
+    p_b.add_argument(
+        "--telemetry",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="collect hazard telemetry per circuit on an extra untimed "
+        "sweep (--no-telemetry to skip)",
+    )
+    _add_history_args(p_b)
     p_b.set_defaults(func=cmd_bench)
+
+    p_r = sub.add_parser(
+        "regress",
+        help="benchmark now and compare against a committed baseline",
+    )
+    p_r.add_argument(
+        "circuits", nargs="*", help="subset of baseline circuits (default: all)"
+    )
+    p_r.add_argument(
+        "--baseline",
+        required=True,
+        metavar="FILE",
+        help="baseline bench document (e.g. BENCH_2026-08-06.json)",
+    )
+    p_r.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the quick circuit subset present in the baseline",
+    )
+    p_r.add_argument(
+        "--rel",
+        type=float,
+        default=0.30,
+        help="relative slowdown band before a phase is suspect (default 0.30)",
+    )
+    p_r.add_argument(
+        "--abs",
+        dest="abs_s",
+        type=float,
+        default=0.005,
+        help="absolute noise floor in seconds on top of the band "
+        "(default 0.005)",
+    )
+    p_r.add_argument(
+        "--confirm",
+        type=int,
+        default=3,
+        help="re-measure runs per suspect circuit before conviction",
+    )
+    p_r.add_argument(
+        "--remeasure",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="re-measure suspects and judge on the minimum "
+        "(--no-remeasure convicts on the first reading)",
+    )
+    p_r.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json = repro-regress/1)",
+    )
+    p_r.add_argument("-o", "--output", help="write the report to a file")
+    p_r.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="also write a markdown report (CI artifact: deltas + "
+        "ω-margin / delay-slack tables)",
+    )
+    _add_history_args(p_r)
+    p_r.set_defaults(func=cmd_regress)
     return parser
+
+
+def _add_history_args(p: argparse.ArgumentParser) -> None:
+    from .obs.registry import DEFAULT_HISTORY_DIR
+
+    p.add_argument(
+        "--history-dir",
+        default=DEFAULT_HISTORY_DIR,
+        help=f"run-history registry directory (default {DEFAULT_HISTORY_DIR})",
+    )
+    p.add_argument(
+        "--history",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="append this run to the run-history registry "
+        "(--no-history to skip)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -25,6 +25,7 @@ thousands of (circuit × fault × seed) points degrades gracefully.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..netlist.netlist import Netlist
 from ..obs import get_metrics, trace_span
@@ -38,7 +39,11 @@ from ..sim import (
     analyze_hazards,
 )
 from ..sim.hazards import HazardReport
+from ..sim.waveform import TraceSet
 from .synthesizer import NShotCircuit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..obs.telemetry import HazardTelemetry
 
 __all__ = [
     "OracleVerdict",
@@ -235,9 +240,18 @@ class VerificationRun:
 
 @dataclass
 class VerificationSummary:
-    """Aggregate over all runs."""
+    """Aggregate over all runs.
+
+    ``telemetry`` is the ``repro-telemetry/1`` summary block when the
+    sweep ran with a :class:`~repro.obs.telemetry.HazardTelemetry`
+    collector attached; ``traces`` is the last run's
+    :class:`~repro.sim.waveform.TraceSet` when trace capture was
+    requested (the ``--vcd`` export path).
+    """
 
     runs: list[VerificationRun] = field(default_factory=list)
+    telemetry: dict | None = None
+    traces: "TraceSet | None" = None
 
     @property
     def ok(self) -> bool:
@@ -273,6 +287,8 @@ def verify_hazard_freeness(
     base_seed: int = 0,
     input_delay: tuple[float, float] = (0.1, 6.0),
     max_events: int | None = 500_000,
+    telemetry: "HazardTelemetry | None" = None,
+    keep_traces: bool = False,
 ) -> VerificationSummary:
     """Monte-Carlo closed-loop verification of a synthesized circuit.
 
@@ -288,11 +304,27 @@ def verify_hazard_freeness(
     hazard-freeness only under the delay bounds Equation (1) was
     evaluated with — verifying under wider variation than designed is
     testing a different (unsupported) operating condition.
+
+    An optional ``telemetry`` collector is attached to every run's
+    simulator through the ``arm`` hook (samples accumulate across the
+    sweep; the summary block lands in ``summary.telemetry``), and
+    ``keep_traces`` retains the last run's :class:`TraceSet` for VCD
+    export — both strictly observational.
     """
     if jitter is None:
         jitter = circuit.designed_spread
     summary = VerificationSummary()
     sg = circuit.sg
+    sims: list = []
+    arm = None
+    if telemetry is not None or keep_traces:
+
+        def arm(sim) -> None:
+            if telemetry is not None:
+                telemetry.attach(sim)
+            if keep_traces:
+                sims[:] = [sim]
+
     with trace_span(
         "verify", circuit=circuit.netlist.name, runs=runs, jitter=jitter
     ) as sp:
@@ -306,6 +338,7 @@ def verify_hazard_freeness(
                 max_transitions=max_transitions,
                 input_delay=input_delay,
                 internal_nets=circuit.architecture.sop_nets,
+                arm=arm,
             )
             summary.runs.append(
                 VerificationRun(
@@ -318,4 +351,8 @@ def verify_hazard_freeness(
                 )
             )
         sp.set(ok=summary.ok, transitions=summary.total_transitions)
+    if telemetry is not None:
+        summary.telemetry = telemetry.summary()
+    if sims:
+        summary.traces = sims[-1].traces
     return summary

@@ -123,7 +123,16 @@ def _run_unit(payload) -> tuple[list[PointRecord], dict | None, dict | None]:
     picklable snapshots when it ran in a pool worker, so the parent can
     merge them into one trace.
     """
-    (name, fault, seeds, jitter, limits, stop_on_detect, trace) = payload
+    (
+        name,
+        fault,
+        seeds,
+        jitter,
+        limits,
+        stop_on_detect,
+        trace,
+        collect_telemetry,
+    ) = payload
     # A pool worker inherits (fork) or lacks (spawn) the parent's tracer;
     # either way its spans cannot reach the parent buffer directly, so
     # record into a fresh local tracer/registry and ship them home.
@@ -136,7 +145,8 @@ def _run_unit(payload) -> tuple[list[PointRecord], dict | None, dict | None]:
         set_metrics(MetricsRegistry())
     try:
         records = _run_unit_points(
-            name, fault, seeds, jitter, limits, stop_on_detect
+            name, fault, seeds, jitter, limits, stop_on_detect,
+            collect_telemetry,
         )
     finally:
         if foreign:
@@ -156,6 +166,7 @@ def _run_unit_points(
     jitter: float,
     limits: WatchdogLimits,
     stop_on_detect: bool,
+    collect_telemetry: bool = False,
 ) -> list[PointRecord]:
     golden = fault.kind == "golden"
     records: list[PointRecord] = []
@@ -184,6 +195,22 @@ def _run_unit_points(
             # into the single PointRecord construction at the bottom
             t0 = _time.perf_counter()
             transitions = events = 0
+            tele = None
+            arm = fault.arm
+            if collect_telemetry:
+                from ..obs.telemetry import HazardTelemetry
+
+                tele = HazardTelemetry.for_circuit(circuit)
+
+                def arm(sim, _tele=tele):
+                    fault.arm(sim)
+                    try:
+                        _tele.attach(sim)
+                    except Exception:
+                        # a structural fault may have removed a probed
+                        # net; losing telemetry must not fail the point
+                        pass
+
             try:
                 config = fault.apply_config(
                     SimConfig(
@@ -201,7 +228,7 @@ def _run_unit_points(
                         max_time=limits.max_time,
                         max_transitions=limits.max_transitions,
                         internal_nets=internal,
-                        arm=fault.arm,
+                        arm=arm,
                     )
                 outcome = _verdict_outcome(verdict.status)
                 # a faulty circuit that never moves is dead, not conformant
@@ -232,6 +259,7 @@ def _run_unit_points(
                     transitions=transitions,
                     events=events,
                     runtime=_time.perf_counter() - t0,
+                    telemetry=tele.totals() if tele is not None else None,
                 )
             )
             if (
@@ -274,6 +302,9 @@ class FaultCampaign:
     include_seu: bool = True
     include_omega: bool = True
     include_golden: bool = True
+    #: attach a hazard-telemetry collector to every point (ω-margin,
+    #: delay slack, pulse census land on each :class:`PointRecord`)
+    collect_telemetry: bool = False
 
     def units(self) -> list[tuple[str, FaultModel]]:
         """The (circuit, fault) work units, golden baselines first."""
@@ -312,6 +343,7 @@ class FaultCampaign:
                 self.limits,
                 self.stop_on_detect,
                 tracer.enabled,
+                self.collect_telemetry,
             )
             for name, fault in self.units()
         ]

@@ -51,7 +51,13 @@ _RANK = {"detected": 3, "timeout": 2, "error": 1, "undetected": 0}
 
 @dataclass
 class PointRecord:
-    """One executed (circuit × fault × seed) point."""
+    """One executed (circuit × fault × seed) point.
+
+    ``telemetry`` is the compact hazard-telemetry aggregate of the
+    point's run (ω-margin, delay slack, pulse census) when the campaign
+    ran with ``collect_telemetry`` — it shows *how close* an undetected
+    fault came to the Theorem 2 threshold, not just pass/fail.
+    """
 
     circuit: str
     fault_kind: str
@@ -62,6 +68,7 @@ class PointRecord:
     transitions: int = 0
     events: int = 0
     runtime: float = 0.0
+    telemetry: dict | None = None
 
 
 @dataclass

@@ -10,7 +10,14 @@ instrumentation hooks without cycles:
   percentile summaries;
 * :mod:`repro.obs.harness` — the machine-readable benchmark harness
   behind ``repro bench`` (imported lazily: it depends on the synthesis
-  stack).
+  stack);
+* :mod:`repro.obs.telemetry` — circuit-physics hazard telemetry
+  (ω-margins, Equation (1) delay slack; imported lazily: it depends on
+  the simulator, which imports this package);
+* :mod:`repro.obs.registry` — append-only run-history store under
+  ``benchmarks/history/``;
+* :mod:`repro.obs.regress` — the noise-aware baseline comparison
+  behind ``repro regress`` (imported lazily, like the harness).
 
 See docs/OBSERVABILITY.md for schemas and instrumentation guidance.
 """

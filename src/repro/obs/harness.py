@@ -110,6 +110,7 @@ def bench_circuit(
     verify_runs: int = 3,
     verify_transitions: int = 40,
     seed: int = 0,
+    telemetry: bool = False,
 ) -> tuple[dict, Tracer]:
     """Measure one circuit ``runs`` times end to end.
 
@@ -117,6 +118,11 @@ def bench_circuit(
     registry, so per-run numbers never bleed into each other.  Returns
     the per-circuit bench entry plus the tracer of the *last* run (for
     Chrome-trace export).
+
+    With ``telemetry`` the entry also carries a ``telemetry`` block —
+    ω-margins, Equation (1) delay slack, per-region glitch counts —
+    collected on one extra *untimed* verification sweep so the probes'
+    watcher overhead never contaminates the wall-clock numbers.
     """
     from ..bench.runner import sg_of
     from ..core import synthesize, verify_hazard_freeness
@@ -173,6 +179,23 @@ def bench_circuit(
             "p90_s": round(percentile(totals, 0.9), 6),
         },
     }
+    if telemetry:
+        from ..core import verify_hazard_freeness as _verify
+        from .telemetry import HazardTelemetry
+
+        tele = HazardTelemetry.for_circuit(circuit)
+        set_metrics(MetricsRegistry())  # keep probe runs out of caller metrics
+        try:
+            _verify(
+                circuit,
+                runs=verify_runs,
+                max_transitions=verify_transitions,
+                base_seed=seed,
+                telemetry=tele,
+            )
+        finally:
+            set_metrics(prev_metrics)
+        entry["telemetry"] = tele.totals()
     return entry, tracer
 
 
@@ -182,6 +205,7 @@ def run_bench(
     runs: int | None = None,
     verify_runs: int | None = None,
     chrome_trace: str | None = None,
+    telemetry: bool = True,
     progress=None,
 ) -> dict:
     """Run the harness over ``circuits`` and return the bench document.
@@ -189,6 +213,8 @@ def run_bench(
     ``circuits`` defaults to the whole paper suite (Table 2 names), or
     the small quick subset when ``quick`` is set.  ``progress`` is an
     optional ``fn(name, entry)`` callback invoked after each circuit.
+    ``telemetry`` (default on) adds a hazard-telemetry block per
+    circuit, measured on an extra untimed verification sweep.
     """
     from ..bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
 
@@ -206,7 +232,9 @@ def run_bench(
     entries = []
     last_tracer: Tracer | None = None
     for name in circuits:
-        entry, tracer = bench_circuit(name, runs=runs, verify_runs=verify_runs)
+        entry, tracer = bench_circuit(
+            name, runs=runs, verify_runs=verify_runs, telemetry=telemetry
+        )
         entries.append(entry)
         last_tracer = tracer
         if progress is not None:
@@ -289,4 +317,17 @@ def validate_bench(doc) -> list[str]:
                 if not isinstance(v, int) or v < 0:
                     problems.append(f"{where}.metrics.{key}: not a non-negative int")
         _check_timing(problems, f"{where}.total", entry.get("total"))
+        # telemetry is optional (older documents predate it) but must be
+        # an object with sane counters when present
+        tele = entry.get("telemetry")
+        if tele is not None:
+            if not isinstance(tele, dict):
+                problems.append(f"{where}.telemetry: not an object")
+            else:
+                for key in ("pulses", "filtered", "mhs_filtered"):
+                    v = tele.get(key)
+                    if not isinstance(v, int) or v < 0:
+                        problems.append(
+                            f"{where}.telemetry.{key}: not a non-negative int"
+                        )
     return problems

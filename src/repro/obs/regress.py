@@ -1,0 +1,366 @@
+"""Noise-aware performance regression gate — the ``repro regress`` engine.
+
+Compares a fresh benchmark run against a committed baseline
+(``BENCH_<date>.json``) and flags phases that got slower *beyond what
+timer noise explains*.  Wall-clock medians on sub-10ms phases jitter
+hard on shared CI boxes, so a raw ``cur > base`` comparison would page
+on every run.  The gate instead:
+
+* compares per-phase **medians** against ``base * (1 + rel) + abs_s``
+  — a relative band for real phases plus an absolute floor that
+  swallows scheduler noise on the tiny ones;
+* **re-measures suspects** before convicting: a phase over the
+  threshold is re-run ``confirm_runs`` more times and judged on the
+  *minimum* observed median (min-of-N is the standard noise-robust
+  statistic for wall time — noise only ever adds);
+* re-runs the baseline document's own ``runs_per_circuit`` /
+  ``verify_runs`` so the two documents measure the same workload.
+
+The report carries the circuit-physics telemetry of the current run
+(per-circuit ω-margin and Equation (1) delay slack), so a perf
+regression and a shrinking hazard margin are visible side by side.
+Exit contract matches ``repro lint``: 0 clean, 1 confirmed
+regressions, 2 internal error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .harness import bench_circuit, environment_fingerprint, run_bench
+from .registry import fingerprint_digest
+
+__all__ = [
+    "REGRESS_SCHEMA",
+    "PhaseDelta",
+    "RegressReport",
+    "Thresholds",
+    "load_baseline",
+    "run_regress",
+]
+
+REGRESS_SCHEMA = "repro-regress/1"
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """What counts as a regression.
+
+    ``rel`` is the relative slowdown band (0.30 = +30%), ``abs_s`` an
+    absolute floor in seconds added on top — a 2ms phase reading 3ms
+    is timer noise, not a finding.  ``confirm_runs`` is how many
+    re-measures a suspect gets before conviction.
+    """
+
+    rel: float = 0.30
+    abs_s: float = 0.005
+    confirm_runs: int = 3
+
+    def allowed(self, base_s: float) -> float:
+        return base_s * (1.0 + self.rel) + self.abs_s
+
+
+@dataclass
+class PhaseDelta:
+    """One (circuit, phase) comparison.
+
+    ``status`` is ``ok`` (within the band), ``cleared`` (over the band
+    once, but the re-measure minimum came back inside — noise), or
+    ``regression`` (over the band even at the re-measured minimum).
+    """
+
+    circuit: str
+    phase: str
+    base_s: float
+    cur_s: float
+    allowed_s: float
+    best_s: float
+    status: str = "ok"
+
+    @property
+    def ratio(self) -> float:
+        return self.best_s / self.base_s if self.base_s > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "phase": self.phase,
+            "base_s": round(self.base_s, 6),
+            "cur_s": round(self.cur_s, 6),
+            "allowed_s": round(self.allowed_s, 6),
+            "best_s": round(self.best_s, 6),
+            "ratio": round(self.ratio, 3) if self.base_s > 0 else None,
+            "status": self.status,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.circuit}/{self.phase}: {self.base_s * 1e3:.1f} -> "
+            f"{self.best_s * 1e3:.1f} ms (allowed {self.allowed_s * 1e3:.1f}, "
+            f"x{self.ratio:.2f}) [{self.status}]"
+        )
+
+
+@dataclass
+class RegressReport:
+    """The full comparison: deltas, telemetry, and the verdict."""
+
+    baseline_created: str
+    baseline_sha: str | None
+    thresholds: Thresholds
+    env_match: bool
+    current: dict = field(default_factory=dict)
+    deltas: list[PhaseDelta] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[PhaseDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def cleared(self) -> list[PhaseDelta]:
+        return [d for d in self.deltas if d.status == "cleared"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json_doc(self) -> dict:
+        return {
+            "schema": REGRESS_SCHEMA,
+            "baseline": {
+                "created_utc": self.baseline_created,
+                "git_sha": self.baseline_sha,
+            },
+            "thresholds": {
+                "rel": self.thresholds.rel,
+                "abs_s": self.thresholds.abs_s,
+                "confirm_runs": self.thresholds.confirm_runs,
+            },
+            "env_match": self.env_match,
+            "ok": self.ok,
+            "regressions": len(self.regressions),
+            "cleared": len(self.cleared),
+            "skipped": self.skipped,
+            "deltas": [d.to_dict() for d in self.deltas],
+            "current": self.current,
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _verdict(self) -> str:
+        if self.ok:
+            return (
+                f"OK: {len(self.deltas)} phase comparisons within thresholds "
+                f"({len(self.cleared)} noise suspect(s) cleared by re-measure)"
+            )
+        worst = max(self.regressions, key=lambda d: d.ratio)
+        return (
+            f"REGRESSION: {len(self.regressions)} phase(s) slower than "
+            f"baseline beyond thresholds; worst {worst.circuit}/{worst.phase} "
+            f"x{worst.ratio:.2f}"
+        )
+
+    def render_text(self) -> str:
+        lines = [
+            f"baseline: {self.baseline_created} "
+            f"@ {(self.baseline_sha or 'nosha')[:7]}"
+            + ("" if self.env_match else "  [env mismatch: different machine]"),
+        ]
+        for d in self.deltas:
+            if d.status != "ok":
+                lines.append("  " + d.render())
+        if self.skipped:
+            lines.append(
+                "  skipped (not in baseline): " + ", ".join(self.skipped)
+            )
+        lines.append(self._verdict())
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """CI artifact: verdict, per-phase deltas, telemetry tables."""
+        out = [
+            "# repro regress report",
+            "",
+            f"**{self._verdict()}**",
+            "",
+            f"- baseline: `{self.baseline_created}` at "
+            f"`{(self.baseline_sha or 'nosha')[:7]}`",
+            f"- thresholds: rel +{self.thresholds.rel * 100:.0f}%, "
+            f"abs {self.thresholds.abs_s * 1e3:.1f} ms, "
+            f"confirm {self.thresholds.confirm_runs} re-run(s)",
+            f"- environment match: {'yes' if self.env_match else 'NO'}",
+            "",
+        ]
+        flagged = [d for d in self.deltas if d.status != "ok"]
+        if flagged:
+            out += [
+                "## Flagged phases",
+                "",
+                "| circuit | phase | base (ms) | current (ms) | best (ms) "
+                "| allowed (ms) | ratio | status |",
+                "|---|---|--:|--:|--:|--:|--:|---|",
+            ]
+            for d in flagged:
+                out.append(
+                    f"| {d.circuit} | {d.phase} | {d.base_s * 1e3:.2f} "
+                    f"| {d.cur_s * 1e3:.2f} | {d.best_s * 1e3:.2f} "
+                    f"| {d.allowed_s * 1e3:.2f} | x{d.ratio:.2f} "
+                    f"| {d.status} |"
+                )
+            out.append("")
+        tele_rows = [
+            (e["name"], e["telemetry"])
+            for e in self.current.get("circuits", [])
+            if isinstance(e.get("telemetry"), dict)
+        ]
+        if tele_rows:
+            out += [
+                "## Hazard telemetry (current run)",
+                "",
+                "ω-margin = distance of the tightest pulse stream to the "
+                "Theorem 2 filtering threshold; delay slack = measured "
+                "Equation (1) margin (negative would mean an enable rail "
+                "opened onto a still-excited SOP plane).",
+                "",
+                "| circuit | pulses | filtered | ω-margin (min) "
+                "| delay slack (min) | region glitches |",
+                "|---|--:|--:|--:|--:|--:|",
+            ]
+            for name, t in tele_rows:
+                om = t.get("min_omega_margin")
+                ds = t.get("min_delay_slack")
+                out.append(
+                    f"| {name} | {t.get('pulses', 0)} "
+                    f"| {t.get('mhs_filtered', 0)} "
+                    f"| {'—' if om is None else f'{om:+.3f}'} "
+                    f"| {'—' if ds is None else f'{ds:+.3f}'} "
+                    f"| {t.get('region_glitches', 0)} |"
+                )
+            out.append("")
+        if self.skipped:
+            out += [
+                "## Skipped",
+                "",
+                "Not present in the baseline document: "
+                + ", ".join(f"`{s}`" for s in self.skipped),
+                "",
+            ]
+        return "\n".join(out)
+
+
+def load_baseline(path: str) -> dict:
+    """Read and sanity-check a baseline bench document."""
+    import json
+
+    from .harness import validate_bench
+
+    with open(path) as f:
+        doc = json.load(f)
+    problems = validate_bench(doc)
+    if problems:
+        raise ValueError(
+            f"{path}: not a valid bench baseline: {problems[0]}"
+            + (f" (+{len(problems) - 1} more)" if len(problems) > 1 else "")
+        )
+    return doc
+
+
+def _comparisons(entry: dict) -> list[tuple[str, float]]:
+    """(phase, median) pairs of one bench entry, 'total' included."""
+    out = [
+        (phase, float(timing.get("median_s", 0.0)))
+        for phase, timing in sorted(entry.get("phases", {}).items())
+    ]
+    out.append(("total", float(entry.get("total", {}).get("median_s", 0.0))))
+    return out
+
+
+def run_regress(
+    baseline: dict,
+    circuits: list[str] | None = None,
+    quick: bool = False,
+    thresholds: Thresholds | None = None,
+    remeasure: bool = True,
+    telemetry: bool = True,
+    progress=None,
+) -> RegressReport:
+    """Benchmark now, compare against ``baseline``, re-measure suspects.
+
+    ``circuits`` / ``quick`` restrict which baseline circuits are
+    checked (default: every circuit the baseline has).  Measurement
+    parameters (``runs_per_circuit``, ``verify_runs``) always come from
+    the baseline document so the workloads are comparable.
+    """
+    thresholds = thresholds or Thresholds()
+    base_entries = {e["name"]: e for e in baseline.get("circuits", [])}
+    if circuits is None:
+        if quick:
+            from .harness import quick_circuits
+
+            circuits = [n for n in quick_circuits() if n in base_entries]
+        else:
+            circuits = list(base_entries)
+    skipped = [n for n in circuits if n not in base_entries]
+    targets = [n for n in circuits if n in base_entries]
+    if not targets:
+        raise ValueError("no requested circuit appears in the baseline")
+    runs = int(baseline.get("runs_per_circuit", 3))
+    verify_runs = int(baseline.get("verify_runs", 3))
+    current = run_bench(
+        circuits=targets,
+        runs=runs,
+        verify_runs=verify_runs,
+        telemetry=telemetry,
+        progress=progress,
+    )
+    report = RegressReport(
+        baseline_created=str(baseline.get("created_utc", "?")),
+        baseline_sha=(baseline.get("env") or {}).get("git_sha"),
+        thresholds=thresholds,
+        env_match=fingerprint_digest(baseline.get("env"))
+        == fingerprint_digest(environment_fingerprint()),
+        current=current,
+        skipped=skipped,
+    )
+    cur_entries = {e["name"]: e for e in current["circuits"]}
+    suspects: dict[str, list[PhaseDelta]] = {}
+    for name in targets:
+        base_phases = dict(_comparisons(base_entries[name]))
+        for phase, cur_s in _comparisons(cur_entries[name]):
+            base_s = base_phases.get(phase)
+            if base_s is None:
+                continue  # phase added since the baseline: nothing to diff
+            delta = PhaseDelta(
+                circuit=name,
+                phase=phase,
+                base_s=base_s,
+                cur_s=cur_s,
+                allowed_s=thresholds.allowed(base_s),
+                best_s=cur_s,
+            )
+            if cur_s > delta.allowed_s:
+                delta.status = "regression"  # provisional, pending re-measure
+                suspects.setdefault(name, []).append(delta)
+            report.deltas.append(delta)
+    if remeasure and suspects:
+        for name, deltas in suspects.items():
+            # min-of-N over whole-circuit re-measures: one extra bench run
+            # re-times every suspect phase of that circuit at once
+            for _ in range(max(1, thresholds.confirm_runs)):
+                entry, _tracer = bench_circuit(
+                    name, runs=1, verify_runs=verify_runs
+                )
+                timed = dict(_comparisons(entry))
+                for d in deltas:
+                    again = timed.get(d.phase)
+                    if again is not None and again < d.best_s:
+                        d.best_s = again
+            for d in deltas:
+                if d.best_s <= d.allowed_s:
+                    d.status = "cleared"
+    return report

@@ -22,7 +22,33 @@ from typing import Iterable, Sequence
 
 from .waveform import TraceSet
 
-__all__ = ["HazardReport", "analyze_hazards"]
+__all__ = ["HazardReport", "analyze_hazards", "omega_margins"]
+
+
+def omega_margins(
+    filtered_widths: Sequence[float],
+    surviving_widths: Sequence[float],
+    omega: float,
+) -> dict[str, float | None]:
+    """The two distances from a pulse stream to the Theorem 2 threshold.
+
+    ``surviving`` — smallest surviving pulse width minus ω: how close a
+    *specified* transition came to being absorbed (a small value means
+    the circuit nearly lost a real commit to the filter).
+    ``filtered`` — ω minus the largest filtered width: how close a
+    hazard pulse came to committing the flip-flop (a small value means
+    a glitch nearly fired a spurious transition).
+    ``min`` — the tighter of the two, i.e. the run's overall ω-margin.
+    Entries are ``None`` when the corresponding population is empty.
+    """
+    surviving = min(surviving_widths) - omega if surviving_widths else None
+    filtered = omega - max(filtered_widths) if filtered_widths else None
+    present = [m for m in (surviving, filtered) if m is not None]
+    return {
+        "surviving": surviving,
+        "filtered": filtered,
+        "min": min(present) if present else None,
+    }
 
 
 @dataclass

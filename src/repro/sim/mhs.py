@@ -90,6 +90,10 @@ class MhsState:
     #: first filtering stage at work (Figure 4, v < ω); observability
     #: counters aggregate this across all flip-flops of a run
     filtered: int = 0
+    #: widths of the absorbed pulses, in drive order — the raw samples
+    #: behind the ω-margin telemetry (largest filtered width is one of
+    #: the two distances to the Theorem 2 threshold)
+    filtered_widths: list[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def _overlap_update(self, time: float) -> None:
@@ -123,6 +127,7 @@ class MhsState:
                 if width < self.params.omega:
                     self._set_window = None  # absorbed (Figure 4, v < ω)
                     self.filtered += 1
+                    self.filtered_widths.append(width)
                 # width >= omega: the commit was already registered by
                 # check_windows(); nothing to do here.
             # set releasing may let a blocked reset drive through
@@ -147,6 +152,7 @@ class MhsState:
                 if width < self.params.omega:
                     self._reset_window = None
                     self.filtered += 1
+                    self.filtered_widths.append(width)
             if self.set_level == 1 and self.q == 0 and self._set_window is None \
                     and not self._has_pending(1):
                 self._set_window = time

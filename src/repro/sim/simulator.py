@@ -435,6 +435,22 @@ class Simulator:
                 self._post(time + self.config.cel_tau, g.output_n, 1 - fire)
 
     # ------------------------------------------------------------------
+    def mhs_flipflops(self) -> dict[str, Gate]:
+        """MHS flip-flop gates of the netlist, keyed by gate name.
+
+        The gate's ``inputs[0]``/``inputs[1]`` nets are the master set
+        and reset inputs — the nets whose pulse streams the ω threshold
+        filters, and therefore where the hazard telemetry measures
+        pulse widths.
+        """
+        return {
+            g.name: g for g in self.netlist.gates if g.type == GateType.MHSFF
+        }
+
+    def mhs_state(self, name: str) -> MhsState:
+        """Behavioural model state of one MHS flip-flop instance."""
+        return self._mhs[name]
+
     @property
     def mhs_pulses_filtered(self) -> int:
         """Input pulses absorbed by the ω threshold across all MHS

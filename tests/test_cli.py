@@ -106,3 +106,103 @@ class TestTable2:
         assert "chu172" in out and "pmcm2" in out
         assert "(1)" in out           # pmcm2 rejected by the baselines
         assert "never" in out         # compensation claim
+
+
+class TestVcd:
+    def test_synth_verify_vcd_and_telemetry(self, gfile, tmp_path, capsys):
+        vcd = tmp_path / "celem.vcd"
+        assert main(
+            ["synth", str(gfile), "--verify", "--runs", "1", "--vcd", str(vcd)]
+        ) == 0
+        out = capsys.readouterr().out
+        # satellite: the verify summary reports the physics counters
+        assert "mhs_pulses_filtered" in out
+        assert "ω-margin" in out
+        assert "delay slack" in out
+        text = vcd.read_text()
+        assert "$enddefinitions" in text
+        assert "set_c_g1" in text  # internal SOP nets are dumped too
+
+    def test_synth_vcd_without_verify(self, gfile, tmp_path, capsys):
+        vcd = tmp_path / "celem.vcd"
+        assert main(["synth", str(gfile), "--vcd", str(vcd)]) == 0
+        out = capsys.readouterr().out
+        assert "HAZARD-FREE" not in out  # no verify summary was requested
+        assert vcd.exists()
+
+    def test_compare_vcd(self, gfile, tmp_path, capsys):
+        vcd = tmp_path / "cmp.vcd"
+        assert main(["compare", str(gfile), "--vcd", str(vcd)]) == 0
+        assert "N-SHOT" in capsys.readouterr().out
+        assert "$var wire" in vcd.read_text()
+
+
+class TestRegressCli:
+    @pytest.fixture()
+    def baseline_file(self, tmp_path) -> pathlib.Path:
+        from repro.obs.harness import run_bench, write_bench
+
+        doc = run_bench(circuits=["converta"], runs=1, verify_runs=1)
+        return pathlib.Path(write_bench(doc, str(tmp_path / "BASE.json")))
+
+    def test_clean_run_exit_zero(self, baseline_file, tmp_path, capsys):
+        md = tmp_path / "regress.md"
+        code = main(
+            [
+                "regress",
+                "--baseline", str(baseline_file),
+                "--markdown", str(md),
+                "--history-dir", str(tmp_path / "hist"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK:" in out
+        assert "history:" in out
+        assert "Hazard telemetry" in md.read_text()
+        assert (tmp_path / "hist" / "index.jsonl").exists()
+
+    def test_json_format(self, baseline_file, capsys):
+        code = main(
+            [
+                "regress",
+                "--baseline", str(baseline_file),
+                "--format", "json",
+                "--no-history",
+                "--no-remeasure",
+            ]
+        )
+        assert code == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-regress/1"
+        assert doc["ok"] is True
+
+    def test_missing_baseline_is_internal_error(self, capsys):
+        assert main(["regress", "--baseline", "/nonexistent.json"]) == 2
+
+    def test_invalid_baseline_is_internal_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/9"}')
+        assert main(["regress", "--baseline", str(bad)]) == 2
+
+
+class TestBenchHistory:
+    def test_bench_appends_history(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "bench", "converta",
+                "--runs", "1",
+                "-o", str(tmp_path / "B.json"),
+                "--history-dir", str(tmp_path / "hist"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "history:" in out
+        from repro.obs.registry import RunHistory
+
+        entries = RunHistory(str(tmp_path / "hist")).entries("bench")
+        assert len(entries) == 1

@@ -422,3 +422,35 @@ class TestBenchmarkCoverage:
         assert res.baseline_ok
         assert res.coverage >= 0.90
         assert not any(r.outcome == "error" for r in res.records)
+
+
+class TestPointTelemetry:
+    def test_campaign_points_carry_telemetry(self):
+        res = FaultCampaign(
+            circuits=["c_element"],
+            seeds=2,
+            include_seu=False,
+            include_omega=False,
+            collect_telemetry=True,
+        ).run()
+        assert res.records, "expected stuck-at points"
+        for rec in res.records:
+            assert isinstance(rec.telemetry, dict)
+            assert rec.telemetry["pulses"] >= 0
+        # golden baselines run healthy traversals: positive margins
+        golden = [r for r in res.baselines if r.telemetry]
+        assert golden
+        assert golden[0].telemetry["min_omega_margin"] > 0
+        assert golden[0].telemetry["min_delay_slack"] > 0
+        # the blocks survive the JSON round trip
+        doc = json.loads(res.render_json())
+        assert doc["points"][0]["telemetry"] is not None
+
+    def test_telemetry_off_by_default(self):
+        res = FaultCampaign(
+            circuits=["c_element"],
+            seeds=1,
+            include_seu=False,
+            include_omega=False,
+        ).run()
+        assert all(r.telemetry is None for r in res.records + res.baselines)

@@ -1,0 +1,134 @@
+"""The noise-aware regression gate.
+
+The two acceptance properties:
+
+* **no false positives** — regressing a fresh run against a baseline
+  taken moments earlier at the same SHA must exit 0;
+* **real slowdowns convict** — an artificial delay inserted into the
+  minimizer must come back as a regression naming the phase.
+"""
+
+import importlib
+import time
+
+import pytest
+
+# repro.logic re-exports the minimize *function*, shadowing the
+# submodule attribute; resolve the module itself for monkeypatching
+minimize_mod = importlib.import_module("repro.logic.minimize")
+from repro.obs.harness import run_bench
+from repro.obs.regress import (
+    REGRESS_SCHEMA,
+    PhaseDelta,
+    Thresholds,
+    load_baseline,
+    run_regress,
+)
+
+CIRCUIT = "converta"  # small: keeps the double-bench runtime low
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_bench(circuits=[CIRCUIT], runs=1, verify_runs=1, telemetry=True)
+
+
+class TestThresholds:
+    def test_allowed_band(self):
+        th = Thresholds(rel=0.30, abs_s=0.005)
+        assert th.allowed(0.100) == pytest.approx(0.135)
+        # tiny phases are dominated by the absolute floor
+        assert th.allowed(0.001) == pytest.approx(0.0063)
+
+    def test_delta_ratio(self):
+        d = PhaseDelta("c", "p", base_s=0.1, cur_s=0.2, allowed_s=0.135, best_s=0.2)
+        assert d.ratio == pytest.approx(2.0)
+
+
+class TestSameShaStability:
+    """Back-to-back runs at the same SHA must not page (twice, per the
+    acceptance criterion)."""
+
+    def test_no_false_positives_twice(self, baseline):
+        for _ in range(2):
+            report = run_regress(baseline, telemetry=False)
+            assert report.ok, [d.render() for d in report.regressions]
+            assert report.exit_code() == 0
+            assert report.env_match
+
+    def test_json_document(self, baseline):
+        report = run_regress(baseline, telemetry=False, remeasure=False)
+        doc = report.to_json_doc()
+        assert doc["schema"] == REGRESS_SCHEMA
+        assert doc["current"]["schema"] == "repro-bench/1"
+        assert any(d["phase"] == "total" for d in doc["deltas"])
+
+
+class TestSlowdownConviction:
+    def test_slow_minimizer_flagged_with_phase_name(self, baseline, monkeypatch):
+        real = minimize_mod.espresso
+
+        def slow_espresso(*args, **kwargs):
+            time.sleep(0.03)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(minimize_mod, "espresso", slow_espresso)
+        report = run_regress(
+            baseline,
+            thresholds=Thresholds(rel=0.30, abs_s=0.005, confirm_runs=1),
+            telemetry=False,
+        )
+        assert not report.ok
+        assert report.exit_code() == 1
+        flagged = {d.phase for d in report.regressions}
+        assert "minimize" in flagged  # the gate names the guilty phase
+        assert report.regressions[0].circuit == CIRCUIT
+        assert "REGRESSION" in report.render_text()
+
+    def test_remeasure_clears_one_off_noise(self, baseline, monkeypatch):
+        """A spike on the first reading only must be cleared by min-of-N."""
+        real = minimize_mod.espresso
+        calls = {"n": 0}
+
+        def flaky_espresso(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:  # only the very first call is slow
+                time.sleep(0.03)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(minimize_mod, "espresso", flaky_espresso)
+        report = run_regress(
+            baseline,
+            thresholds=Thresholds(rel=0.30, abs_s=0.005, confirm_runs=2),
+            telemetry=False,
+        )
+        assert report.ok
+        assert all(d.status in ("ok", "cleared") for d in report.deltas)
+
+
+class TestReporting:
+    def test_markdown_tables(self, baseline):
+        report = run_regress(baseline, remeasure=False)
+        md = report.render_markdown()
+        assert "# repro regress report" in md
+        assert "Hazard telemetry" in md
+        assert "ω-margin" in md
+        assert f"| {CIRCUIT} |" in md
+
+    def test_unknown_circuit_skipped(self, baseline):
+        report = run_regress(
+            baseline, circuits=[CIRCUIT, "no-such"], telemetry=False,
+            remeasure=False,
+        )
+        assert report.skipped == ["no-such"]
+        assert report.ok
+
+    def test_all_unknown_raises(self, baseline):
+        with pytest.raises(ValueError):
+            run_regress(baseline, circuits=["no-such"])
+
+    def test_load_baseline_rejects_invalid(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"schema": "other/9"}')
+        with pytest.raises(ValueError, match="baseline"):
+            load_baseline(str(p))
