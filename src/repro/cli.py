@@ -14,6 +14,8 @@ Mirrors how the paper's compiler was driven::
     python -m repro synth ctrl.g --profile      # per-phase timing to stderr
     python -m repro lint ctrl.g --suite         # static-analysis rule catalog
     python -m repro lint --suite --format sarif # SARIF 2.1.0 for CI uploads
+    python -m repro explain converta            # causal chain of an ω-filtered pulse
+    python -m repro synth ctrl.g --verify --coverage  # SG state-space coverage
 """
 
 from __future__ import annotations
@@ -174,26 +176,48 @@ def _synth_body(args: argparse.Namespace) -> int:
         with open(args.output, "w") as f:
             f.write(write_verilog(circuit.netlist))
         print(f"wrote {args.output}")
-    if args.verify or args.vcd:
+    if args.verify or args.vcd or args.coverage:
         from .obs.telemetry import HazardTelemetry
 
-        # telemetry rides the verify sweep; a bare --vcd still needs one
-        # oracle run to have traces to dump
+        # telemetry and coverage ride the verify sweep; a bare --vcd
+        # still needs one oracle run to have traces to dump
         tele = HazardTelemetry.for_circuit(circuit) if args.verify else None
+        cov = None
+        if args.coverage:
+            from .obs.coverage import CoverageMap
+
+            cov = CoverageMap.for_circuit(circuit)
         summary = verify_hazard_freeness(
             circuit,
-            runs=args.runs if args.verify else 1,
+            runs=args.runs if (args.verify or args.coverage) else 1,
             telemetry=tele,
             keep_traces=bool(args.vcd),
+            coverage=cov,
         )
         if args.vcd:
             _write_vcd_file(args.vcd, summary.traces)
+        if cov is not None:
+            _emit_coverage(cov, args.coverage_out)
         if args.verify:
             print(summary.summary())
             if tele is not None:
                 print(tele.render_text())
             return 0 if summary.ok else 2
     return 0
+
+
+def _emit_coverage(cov, out_path: str | None) -> None:
+    """Print a coverage map's text report; optionally write the full
+    ``repro-coverage/1`` JSON document (the CI artifact path)."""
+    report = cov.report()
+    print(report.render_text())
+    if out_path:
+        import json as json_mod
+
+        with open(out_path, "w") as f:
+            json_mod.dump(report.to_json(), f, indent=2)
+            f.write("\n")
+        print(f"wrote {out_path}")
 
 
 def _write_vcd_file(path: str, traces) -> None:
@@ -231,9 +255,23 @@ def _compare_body(args: argparse.Namespace) -> int:
     width = max(len(r[0]) for r in rows)
     for label, cell in rows:
         print(f"{label:<{width}}  {cell}")
-    if args.vcd:
-        summary = verify_hazard_freeness(nshot, runs=1, keep_traces=True)
-        _write_vcd_file(args.vcd, summary.traces)
+    if args.vcd or args.coverage:
+        cov = None
+        if args.coverage:
+            from .obs.coverage import CoverageMap
+
+            cov = CoverageMap.for_circuit(nshot)
+        summary = verify_hazard_freeness(
+            nshot,
+            runs=5 if args.coverage else 1,
+            keep_traces=bool(args.vcd),
+            coverage=cov,
+        )
+        if args.vcd:
+            _write_vcd_file(args.vcd, summary.traces)
+        if cov is not None:
+            print()
+            _emit_coverage(cov, args.coverage_out)
     return 0
 
 
@@ -398,6 +436,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             max_events=args.max_events, max_time=args.max_time
         ),
         collect_telemetry=args.telemetry,
+        collect_coverage=args.coverage,
     )
     result = campaign.run(jobs=args.jobs)
     rendered = result.render_text() if args.text else result.render_json()
@@ -411,6 +450,79 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(rendered)
     if not result.baseline_ok:
         return 2  # golden runs flagged: the oracle itself is suspect
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    return _with_profile(args, lambda: _explain_body(args))
+
+
+def _explain_body(args: argparse.Namespace) -> int:
+    """Demonstrate MHS ω-filtering causally on one circuit.
+
+    Synthesizes the target with ``delay_spread=0.0`` (the tightest
+    designed bounds, so stress jitter actually exceeds them), sweeps
+    stress corners until the flight recorder catches the flip-flop
+    absorbing a sub-ω pulse, and prints the causal chain from that
+    pulse back to the environment input transition that started it.
+    """
+    import json as json_mod
+    import os
+
+    from .core import synthesize as _synthesize
+    from .obs.causality import find_filtered_chain
+
+    target = args.target
+    if os.path.exists(target):
+        stg, sg = _load_sg(target)
+        name = stg.name
+    else:
+        from .bench import sg_of
+
+        try:
+            sg = sg_of(target)
+        except KeyError:
+            print(
+                f"error: {target!r} is neither a spec file nor a paper-suite "
+                "circuit name (see `repro table2` for names)",
+                file=sys.stderr,
+            )
+            return 1
+        name = target
+    circuit = _synthesize(sg, name=name, delay_spread=0.0)
+    chain, info = find_filtered_chain(
+        circuit, seeds=args.seeds, probe=args.probe
+    )
+    if chain is None:
+        print(
+            f"error: no ω-filtered pulse could be demonstrated on {name} "
+            f"({args.seeds} seeds per stress corner"
+            + ("" if args.probe else ", probe injection disabled")
+            + ")",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "json":
+        doc = chain.to_json_doc()
+        doc["circuit"] = name
+        doc["sweep"] = info
+        rendered = json_mod.dumps(doc, indent=2)
+    else:
+        mode = info.get("mode")
+        how = (
+            f"organic (jitter ±{info['jitter']:g}, seed {info['seed']})"
+            if mode == "organic"
+            else f"probe runt injection (width {info['runt_width']:g})"
+        )
+        rendered = f"{name}: ω-filtered pulse via {how}\n" + chain.render_text()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered + "\n")
+        print(f"wrote {args.output}")
+        if args.format == "text":
+            print(rendered)
+    else:
+        print(rendered)
     return 0
 
 
@@ -558,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-flight the Theorem-2 lint rules before synthesis "
         "(--no-lint skips the gate)",
     )
+    _add_coverage_args(p_synth)
     p_synth.set_defaults(func=cmd_synth)
 
     p_cmp = sub.add_parser("compare", help="run every flow on one STG")
@@ -579,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-flight the Theorem-2 lint rules before synthesis "
         "(--no-lint skips the gate)",
     )
+    _add_coverage_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_lint = sub.add_parser(
@@ -683,6 +797,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach hazard telemetry (ω-margin, delay slack) per point",
     )
     p_f.add_argument(
+        "--coverage",
+        action="store_true",
+        help="attach SG coverage per point; faulty points carry "
+        "coverage_delta vs the golden exploration ceiling",
+    )
+    p_f.add_argument(
         "--text", action="store_true", help="human-readable report instead of JSON"
     )
     p_f.add_argument("-o", "--output", help="write the report to a file")
@@ -690,6 +810,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list fault-suite circuit names"
     )
     p_f.set_defaults(func=cmd_faults)
+
+    p_x = sub.add_parser(
+        "explain",
+        help="causal chain of an ω-filtered pulse (flight recorder)",
+    )
+    p_x.add_argument(
+        "target", help=".g/.sg spec file or a paper-suite circuit name"
+    )
+    p_x.add_argument(
+        "--seeds",
+        type=int,
+        default=16,
+        help="Monte-Carlo seeds per stress corner (default 16)",
+    )
+    p_x.add_argument(
+        "--probe",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fall back to a causally-anchored runt injection when no "
+        "organic hazard pulse forms (--no-probe for organic only)",
+    )
+    p_x.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json = repro-causality/1)",
+    )
+    p_x.add_argument("-o", "--output", help="write the chain to a file")
+    p_x.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase span tree (timings + metrics) to stderr",
+    )
+    p_x.set_defaults(func=cmd_explain)
 
     p_b = sub.add_parser(
         "bench",
@@ -787,6 +941,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_history_args(p_r)
     p_r.set_defaults(func=cmd_regress)
     return parser
+
+
+def _add_coverage_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--coverage",
+        action="store_true",
+        help="collect SG state/region/trigger-cube coverage over the "
+        "verification sweep and print the report",
+    )
+    p.add_argument(
+        "--coverage-out",
+        metavar="FILE",
+        help="also write the full repro-coverage/1 JSON document",
+    )
 
 
 def _add_history_args(p: argparse.ArgumentParser) -> None:

@@ -43,6 +43,8 @@ from ..sim.waveform import TraceSet
 from .synthesizer import NShotCircuit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..obs.causality import FlightRecorder
+    from ..obs.coverage import CoverageMap
     from ..obs.telemetry import HazardTelemetry
 
 __all__ = [
@@ -79,6 +81,9 @@ class OracleVerdict:
     observable_glitches: int = 0
     final_time: float = 0.0
     events: int = 0
+    #: ``repro-causality/1`` chain documents for the run's violations,
+    #: populated when a flight recorder was attached (``observe`` hook)
+    causes: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -111,6 +116,7 @@ def run_oracle(
     input_delay: tuple[float, float] = (0.1, 6.0),
     internal_nets: list[str] | None = None,
     arm=None,
+    observe=None,
 ) -> OracleVerdict:
     """One closed-loop conformance run, returned as a structured verdict.
 
@@ -119,7 +125,13 @@ def run_oracle(
     the structured diagnostics attached.  ``arm`` is an optional
     callback invoked with the freshly built :class:`Simulator` before
     the run starts — the hook transient-fault models use to schedule
-    their mid-traversal injections.
+    their mid-traversal injections.  ``observe`` is invoked with
+    ``(sim, env)`` after ``arm`` — the hook for strictly observational
+    collectors that need the environment too (coverage maps register an
+    SG-advance observer, flight recorders attach to the simulator).
+    When a flight recorder is attached, any violation verdict carries
+    causal chains (``repro-causality/1`` documents) for its offending
+    events in :attr:`OracleVerdict.causes`.
     """
     seed = config.seed if config.seed is not None else 0
     with trace_span("oracle", circuit=netlist.name, seed=seed) as sp:
@@ -134,6 +146,7 @@ def run_oracle(
             input_delay=input_delay,
             internal_nets=internal_nets,
             arm=arm,
+            observe=observe,
         )
         sp.set(
             status=verdict.status,
@@ -161,6 +174,7 @@ def _run_oracle_inner(
     input_delay: tuple[float, float],
     internal_nets: list[str] | None,
     arm,
+    observe=None,
 ) -> tuple[OracleVerdict, int]:
     """The oracle body; returns (verdict, MHS pulses filtered)."""
     sim = Simulator(netlist, config)
@@ -172,6 +186,8 @@ def _run_oracle_inner(
     )
     if arm is not None:
         arm(sim)
+    if observe is not None:
+        observe(sim, env)
     observable = [sg.signals[a] for a in sg.non_inputs]
     try:
         report = env.run(max_time=max_time, max_transitions=max_transitions)
@@ -223,7 +239,31 @@ def _run_oracle_inner(
         observable_glitches=hazards.observable_total,
         final_time=report.final_time,
         events=sim.events_processed,
+        causes=[] if clean else _violation_causes(sim, report, hazards),
     ), sim.mhs_pulses_filtered
+
+
+def _violation_causes(sim, report, hazards: HazardReport) -> list[dict]:
+    """Causal-chain documents for a violation verdict's offending events.
+
+    Only meaningful when a flight recorder was attached (``observe``
+    hook); returns ``[]`` otherwise.  Conformance violations are looked
+    up by (net, time, value); observable glitch nets by their most
+    recent recorded change.
+    """
+    recorder = getattr(sim, "_recorder", None)
+    if recorder is None:
+        return []
+    causes: list[dict] = []
+    for net, time, value in report.conformance_events:
+        ev = recorder.find_net_event(net, at=time, value=value)
+        if ev is not None:
+            causes.append(recorder.explain(ev).to_json_doc())
+    for net in sorted(hazards.observable_glitches):
+        ev = recorder.find_net_event(net)
+        if ev is not None:
+            causes.append(recorder.explain(ev).to_json_doc())
+    return causes
 
 
 @dataclass
@@ -236,6 +276,8 @@ class VerificationRun:
     internal_glitches: int
     observable_glitches: int
     errors: list[str] = field(default_factory=list)
+    #: causal chains of this run's violations (flight recorder attached)
+    causes: list[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -244,13 +286,16 @@ class VerificationSummary:
 
     ``telemetry`` is the ``repro-telemetry/1`` summary block when the
     sweep ran with a :class:`~repro.obs.telemetry.HazardTelemetry`
-    collector attached; ``traces`` is the last run's
+    collector attached; ``coverage`` is the ``repro-coverage/1``
+    document when a :class:`~repro.obs.coverage.CoverageMap` was
+    attached; ``traces`` is the last run's
     :class:`~repro.sim.waveform.TraceSet` when trace capture was
     requested (the ``--vcd`` export path).
     """
 
     runs: list[VerificationRun] = field(default_factory=list)
     telemetry: dict | None = None
+    coverage: dict | None = None
     traces: "TraceSet | None" = None
 
     @property
@@ -289,6 +334,8 @@ def verify_hazard_freeness(
     max_events: int | None = 500_000,
     telemetry: "HazardTelemetry | None" = None,
     keep_traces: bool = False,
+    coverage: "CoverageMap | None" = None,
+    recorder: "FlightRecorder | None" = None,
 ) -> VerificationSummary:
     """Monte-Carlo closed-loop verification of a synthesized circuit.
 
@@ -310,6 +357,11 @@ def verify_hazard_freeness(
     sweep; the summary block lands in ``summary.telemetry``), and
     ``keep_traces`` retains the last run's :class:`TraceSet` for VCD
     export — both strictly observational.
+
+    A ``coverage`` map accumulates SG state/region/trigger-cube
+    coverage across the sweep (document in ``summary.coverage``); a
+    ``recorder`` flight recorder makes every violating run carry causal
+    chains for its offending events (``VerificationRun.causes``).
     """
     if jitter is None:
         jitter = circuit.designed_spread
@@ -317,6 +369,7 @@ def verify_hazard_freeness(
     sg = circuit.sg
     sims: list = []
     arm = None
+    observe = None
     if telemetry is not None or keep_traces:
 
         def arm(sim) -> None:
@@ -324,6 +377,14 @@ def verify_hazard_freeness(
                 telemetry.attach(sim)
             if keep_traces:
                 sims[:] = [sim]
+
+    if coverage is not None or recorder is not None:
+
+        def observe(sim, env) -> None:
+            if coverage is not None:
+                coverage.attach(env)
+            if recorder is not None:
+                recorder.attach(sim)
 
     with trace_span(
         "verify", circuit=circuit.netlist.name, runs=runs, jitter=jitter
@@ -339,6 +400,7 @@ def verify_hazard_freeness(
                 input_delay=input_delay,
                 internal_nets=circuit.architecture.sop_nets,
                 arm=arm,
+                observe=observe,
             )
             summary.runs.append(
                 VerificationRun(
@@ -348,11 +410,14 @@ def verify_hazard_freeness(
                     internal_glitches=verdict.internal_glitches,
                     observable_glitches=verdict.observable_glitches,
                     errors=verdict.errors,
+                    causes=verdict.causes,
                 )
             )
         sp.set(ok=summary.ok, transitions=summary.total_transitions)
     if telemetry is not None:
         summary.telemetry = telemetry.summary()
+    if coverage is not None:
+        summary.coverage = coverage.summary()
     if sims:
         summary.traces = sims[-1].traces
     return summary

@@ -132,6 +132,7 @@ def _run_unit(payload) -> tuple[list[PointRecord], dict | None, dict | None]:
         stop_on_detect,
         trace,
         collect_telemetry,
+        collect_coverage,
     ) = payload
     # A pool worker inherits (fork) or lacks (spawn) the parent's tracer;
     # either way its spans cannot reach the parent buffer directly, so
@@ -146,7 +147,7 @@ def _run_unit(payload) -> tuple[list[PointRecord], dict | None, dict | None]:
     try:
         records = _run_unit_points(
             name, fault, seeds, jitter, limits, stop_on_detect,
-            collect_telemetry,
+            collect_telemetry, collect_coverage,
         )
     finally:
         if foreign:
@@ -167,6 +168,7 @@ def _run_unit_points(
     limits: WatchdogLimits,
     stop_on_detect: bool,
     collect_telemetry: bool = False,
+    collect_coverage: bool = False,
 ) -> list[PointRecord]:
     golden = fault.kind == "golden"
     records: list[PointRecord] = []
@@ -211,6 +213,18 @@ def _run_unit_points(
                         # net; losing telemetry must not fail the point
                         pass
 
+            cov = observe = None
+            if collect_coverage:
+                from ..obs.coverage import CoverageMap
+
+                # one fresh map per point, so each record's coverage is
+                # its own run's exploration (deltas vs golden are
+                # computed campaign-side)
+                cov = CoverageMap.for_circuit(circuit)
+
+                def observe(sim, env, _cov=cov):
+                    _cov.attach(env)
+
             try:
                 config = fault.apply_config(
                     SimConfig(
@@ -229,6 +243,7 @@ def _run_unit_points(
                         max_transitions=limits.max_transitions,
                         internal_nets=internal,
                         arm=arm,
+                        observe=observe,
                     )
                 outcome = _verdict_outcome(verdict.status)
                 # a faulty circuit that never moves is dead, not conformant
@@ -260,6 +275,7 @@ def _run_unit_points(
                     events=events,
                     runtime=_time.perf_counter() - t0,
                     telemetry=tele.totals() if tele is not None else None,
+                    coverage=cov.totals() if cov is not None else None,
                 )
             )
             if (
@@ -305,6 +321,10 @@ class FaultCampaign:
     #: attach a hazard-telemetry collector to every point (ω-margin,
     #: delay slack, pulse census land on each :class:`PointRecord`)
     collect_telemetry: bool = False
+    #: attach an SG coverage map to every point; faulty points also get
+    #: ``coverage_delta`` — percentage-point exploration shortfall
+    #: against the circuit's golden baseline
+    collect_coverage: bool = False
 
     def units(self) -> list[tuple[str, FaultModel]]:
         """The (circuit, fault) work units, golden baselines first."""
@@ -344,6 +364,7 @@ class FaultCampaign:
                 self.stop_on_detect,
                 tracer.enabled,
                 self.collect_telemetry,
+                self.collect_coverage,
             )
             for name, fault in self.units()
         ]
@@ -378,7 +399,33 @@ class FaultCampaign:
                     result.baselines.append(rec)
                 else:
                     result.records.append(rec)
+        if self.collect_coverage:
+            self._attach_coverage_deltas(result)
         return result
+
+    @staticmethod
+    def _attach_coverage_deltas(result: CampaignResult) -> None:
+        """Fill ``coverage_delta`` on every faulty point with coverage.
+
+        The reference per circuit is the element-wise best percentage
+        the golden baseline achieved across its seeds — the fault-free
+        exploration ceiling the faulty run is compared against.
+        """
+        from ..obs.coverage import coverage_delta
+
+        base: dict[str, dict] = {}
+        for rec in result.baselines:
+            if rec.coverage is None:
+                continue
+            ref = base.setdefault(rec.circuit, dict(rec.coverage))
+            for key in ("states_pct", "regions_pct", "cubes_pct"):
+                if key in rec.coverage:
+                    ref[key] = max(ref.get(key, 0.0), rec.coverage[key])
+        for rec in result.records:
+            if rec.coverage is not None and rec.circuit in base:
+                rec.coverage_delta = coverage_delta(
+                    rec.coverage, base[rec.circuit]
+                )
 
 
 def run_campaign(

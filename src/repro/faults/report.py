@@ -57,6 +57,12 @@ class PointRecord:
     point's run (ω-margin, delay slack, pulse census) when the campaign
     ran with ``collect_telemetry`` — it shows *how close* an undetected
     fault came to the Theorem 2 threshold, not just pass/fail.
+
+    ``coverage`` is the compact SG-coverage block (states/regions/
+    trigger-cube percentages) when the campaign ran with
+    ``collect_coverage``; ``coverage_delta`` holds the percentage-point
+    differences against the circuit's golden baseline — how much of the
+    state space the fault prevented the circuit from exploring.
     """
 
     circuit: str
@@ -69,6 +75,8 @@ class PointRecord:
     events: int = 0
     runtime: float = 0.0
     telemetry: dict | None = None
+    coverage: dict | None = None
+    coverage_delta: dict | None = None
 
 
 @dataclass

@@ -17,7 +17,13 @@ instrumentation hooks without cycles:
 * :mod:`repro.obs.registry` — append-only run-history store under
   ``benchmarks/history/``;
 * :mod:`repro.obs.regress` — the noise-aware baseline comparison
-  behind ``repro regress`` (imported lazily, like the harness).
+  behind ``repro regress`` (imported lazily, like the harness);
+* :mod:`repro.obs.causality` — the causal flight recorder behind
+  ``repro explain``: cause-DAG recording of simulator events and
+  ``repro-causality/1`` chain explanations (imported lazily);
+* :mod:`repro.obs.coverage` — SG state-space coverage maps
+  (states / excitation-region traversals / trigger cubes fired,
+  ``repro-coverage/1``; imported lazily).
 
 See docs/OBSERVABILITY.md for schemas and instrumentation guidance.
 """

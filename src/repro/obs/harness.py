@@ -119,10 +119,12 @@ def bench_circuit(
     the per-circuit bench entry plus the tracer of the *last* run (for
     Chrome-trace export).
 
-    With ``telemetry`` the entry also carries a ``telemetry`` block —
-    ω-margins, Equation (1) delay slack, per-region glitch counts —
-    collected on one extra *untimed* verification sweep so the probes'
-    watcher overhead never contaminates the wall-clock numbers.
+    With ``telemetry`` the entry also carries ``telemetry`` and
+    ``coverage`` blocks — ω-margins, Equation (1) delay slack,
+    per-region glitch counts, plus the SG state/region/trigger-cube
+    coverage the verification sweep achieved — collected on one extra
+    *untimed* verification sweep so the probes' watcher overhead never
+    contaminates the wall-clock numbers.
     """
     from ..bench.runner import sg_of
     from ..core import synthesize, verify_hazard_freeness
@@ -181,9 +183,11 @@ def bench_circuit(
     }
     if telemetry:
         from ..core import verify_hazard_freeness as _verify
+        from .coverage import CoverageMap
         from .telemetry import HazardTelemetry
 
         tele = HazardTelemetry.for_circuit(circuit)
+        cov = CoverageMap.for_circuit(circuit)
         set_metrics(MetricsRegistry())  # keep probe runs out of caller metrics
         try:
             _verify(
@@ -192,10 +196,12 @@ def bench_circuit(
                 max_transitions=verify_transitions,
                 base_seed=seed,
                 telemetry=tele,
+                coverage=cov,
             )
         finally:
             set_metrics(prev_metrics)
         entry["telemetry"] = tele.totals()
+        entry["coverage"] = cov.totals()
     return entry, tracer
 
 
@@ -329,5 +335,18 @@ def validate_bench(doc) -> list[str]:
                     if not isinstance(v, int) or v < 0:
                         problems.append(
                             f"{where}.telemetry.{key}: not a non-negative int"
+                        )
+        # coverage is optional (older documents predate it) but its
+        # percentages must be sane when present
+        cov = entry.get("coverage")
+        if cov is not None:
+            if not isinstance(cov, dict):
+                problems.append(f"{where}.coverage: not an object")
+            else:
+                for key in ("states_pct", "regions_pct", "cubes_pct"):
+                    v = cov.get(key)
+                    if not isinstance(v, (int, float)) or not 0 <= v <= 100:
+                        problems.append(
+                            f"{where}.coverage.{key}: not a percentage"
                         )
     return problems

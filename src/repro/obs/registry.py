@@ -84,6 +84,13 @@ class RunHistory:
         The git SHA and environment fingerprint are read from the
         document's ``env``/``current`` block when present (bench and
         regress documents both carry one).  Returns the index entry.
+
+        Appends are deduplicated: when the index already holds an entry
+        of the same kind with identical git SHA, environment digest,
+        and creation timestamp, that entry is returned as-is — no new
+        file, no new index line.  (A retried CI step or a double-armed
+        ``--history`` flag would otherwise litter the ledger with
+        byte-identical runs.)
         """
         if not kind or any(c in kind for c in "/\\ "):
             raise ValueError(f"bad history kind {kind!r}")
@@ -108,6 +115,13 @@ class RunHistory:
             env_digest=fingerprint_digest(env),
             schema=doc.get("schema"),
         )
+        for existing in self.entries(kind):
+            if (
+                existing.created_utc == entry.created_utc
+                and existing.git_sha == entry.git_sha
+                and existing.env_digest == entry.env_digest
+            ):
+                return existing  # duplicate run: keep the ledger clean
         os.makedirs(self.root, exist_ok=True)
         stem = "{}_{}_{}".format(
             created.replace("-", "").replace(":", ""),

@@ -111,7 +111,12 @@ class RegressReport:
     env_match: bool
     current: dict = field(default_factory=dict)
     deltas: list[PhaseDelta] = field(default_factory=list)
+    #: requested circuits the baseline document does not contain
     skipped: list[str] = field(default_factory=list)
+    #: baseline circuits the current benchmark suite no longer knows
+    #: (renamed or removed since the baseline was recorded) — skipped
+    #: structurally instead of crashing the fresh run
+    skipped_unknown: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[PhaseDelta]:
@@ -145,6 +150,7 @@ class RegressReport:
             "regressions": len(self.regressions),
             "cleared": len(self.cleared),
             "skipped": self.skipped,
+            "skipped_unknown": self.skipped_unknown,
             "deltas": [d.to_dict() for d in self.deltas],
             "current": self.current,
         }
@@ -177,6 +183,11 @@ class RegressReport:
         if self.skipped:
             lines.append(
                 "  skipped (not in baseline): " + ", ".join(self.skipped)
+            )
+        if self.skipped_unknown:
+            lines.append(
+                "  skipped (baseline circuit unknown to current suite): "
+                + ", ".join(self.skipped_unknown)
             )
         lines.append(self._verdict())
         return "\n".join(lines)
@@ -242,14 +253,21 @@ class RegressReport:
                     f"| {t.get('region_glitches', 0)} |"
                 )
             out.append("")
-        if self.skipped:
-            out += [
-                "## Skipped",
-                "",
-                "Not present in the baseline document: "
-                + ", ".join(f"`{s}`" for s in self.skipped),
-                "",
-            ]
+        if self.skipped or self.skipped_unknown:
+            out += ["## Skipped", ""]
+            if self.skipped:
+                out += [
+                    "Not present in the baseline document: "
+                    + ", ".join(f"`{s}`" for s in self.skipped),
+                    "",
+                ]
+            if self.skipped_unknown:
+                out += [
+                    "In the baseline but unknown to the current benchmark "
+                    "suite (renamed or removed): "
+                    + ", ".join(f"`{s}`" for s in self.skipped_unknown),
+                    "",
+                ]
         return "\n".join(out)
 
 
@@ -309,6 +327,21 @@ def run_regress(
     targets = [n for n in circuits if n in base_entries]
     if not targets:
         raise ValueError("no requested circuit appears in the baseline")
+    # a baseline may list circuits the suite has since renamed or
+    # removed; benchmarking one would crash the fresh run, so they are
+    # skipped structurally and reported
+    from ..bench.circuits import (
+        DISTRIBUTIVE_BENCHMARKS,
+        NONDISTRIBUTIVE_BENCHMARKS,
+    )
+
+    known = set(DISTRIBUTIVE_BENCHMARKS) | set(NONDISTRIBUTIVE_BENCHMARKS)
+    skipped_unknown = [n for n in targets if n not in known]
+    targets = [n for n in targets if n in known]
+    if not targets:
+        raise ValueError(
+            "no baseline circuit is known to the current benchmark suite"
+        )
     runs = int(baseline.get("runs_per_circuit", 3))
     verify_runs = int(baseline.get("verify_runs", 3))
     current = run_bench(
@@ -326,6 +359,7 @@ def run_regress(
         == fingerprint_digest(environment_fingerprint()),
         current=current,
         skipped=skipped,
+        skipped_unknown=skipped_unknown,
     )
     cur_entries = {e["name"]: e for e in current["circuits"]}
     suspects: dict[str, list[PhaseDelta]] = {}

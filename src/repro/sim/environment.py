@@ -39,6 +39,9 @@ class ConformanceReport:
     transitions_observed: int = 0
     inputs_fired: int = 0
     final_time: float = 0.0
+    #: structured (net, time, value) of each conformance violation —
+    #: what the flight recorder needs to look the offending event up
+    conformance_events: list[tuple[str, float, int]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -89,9 +92,22 @@ class SGEnvironment:
         self.state: StateId = sg.initial
         self.report = ConformanceReport()
         self._pending_inputs: dict[Transition, float] = {}
+        #: state-advance observers: fn(pre_state, transition, post_state,
+        #: time) called on every SG step the environment tracks (its own
+        #: input firings and the circuit's conformant output firings) —
+        #: the hook the coverage maps collect through
+        self._observers: list = []
         for idx in sg.non_inputs:
             net = sg.signals[idx]
             sim.watch(net, self._make_output_watcher(idx))
+
+    def add_observer(self, fn) -> None:
+        """Register ``fn(pre, transition, post, time)`` for SG advances."""
+        self._observers.append(fn)
+
+    def _notify(self, pre: StateId, t: Transition, post: StateId, time: float) -> None:
+        for fn in self._observers:
+            fn(pre, t, post, time)
 
     # ------------------------------------------------------------------
     def _make_output_watcher(self, signal: int):
@@ -104,9 +120,14 @@ class SGEnvironment:
                     f"not enabled in state {self.state!r} "
                     f"[{self.sg.state_label(self.state)}]"
                 )
+                self.report.conformance_events.append(
+                    (self.sg.signals[signal], time, value)
+                )
                 return
+            pre = self.state
             self.state = nxt
             self.report.transitions_observed += 1
+            self._notify(pre, t, nxt, time)
             self._schedule_enabled_inputs(time)
 
         return on_change
@@ -132,8 +153,10 @@ class SGEnvironment:
             net = self.sg.signals[t.signal]
             value = 1 if t.rising else 0
             self.sim.drive(net, value, now)
+            pre = self.state
             self.state = self.sg.succ(self.state, t)
             self.report.inputs_fired += 1
+            self._notify(pre, t, self.state, now)
         if due:
             # newly enabled transitions (by the fired inputs)
             self._schedule_enabled_inputs(now)

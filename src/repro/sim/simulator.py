@@ -13,6 +13,17 @@ The simulator executes a :class:`~repro.netlist.netlist.Netlist`
 containing combinational gates plus the behavioural sequential cells
 (MHS flip-flop, C-element, RS latch).  External drivers (the
 SG environment) inject values on primary inputs via :meth:`drive`.
+
+Every scheduled event is stamped with a *cause link*: the sequence id
+of the event whose processing scheduled it, plus the gate that
+evaluated (``None`` for external drives/injections).  The links form a
+cause DAG rooted at environment transitions; an attached
+:class:`~repro.obs.causality.FlightRecorder` (:meth:`attach_recorder`)
+records the DAG under a ring-buffer budget so any observed glitch or
+ω-filtered pulse can be explained back to the input transition that
+set it in motion.  Un-attached runs pay only the two extra tuple slots
+— the heap orders on ``(time, kind, seq)`` and ``seq`` is unique, so
+the stamps never participate in comparisons.
 """
 
 from __future__ import annotations
@@ -130,8 +141,16 @@ class Simulator:
         self.values: dict[str, int] = {}
         self.traces = TraceSet()
         self.violations: list[str] = []
-        self._queue: list[tuple[float, int, int, str, int]] = []
+        # queue entries: (time, kind, seq, net, value, cause, gate) —
+        # cause/gate sit after the unique seq so they never affect
+        # heap ordering (see module docstring)
+        self._queue: list[tuple[float, int, int, str, int, int | None, str | None]] = []
         self._seq = 0
+        #: seq of the event currently being processed (cause context for
+        #: anything scheduled from inside the event loop); None between
+        #: run() calls, so external drives become cause-DAG roots
+        self._cause_ctx: int | None = None
+        self._recorder = None
         self._callbacks: dict[int, Callable[["Simulator", float], None]] = {}
         self._watchers: dict[str, list[Callable[[float, int], None]]] = {}
         self._fanout: dict[str, list[Gate]] = {}
@@ -251,19 +270,37 @@ class Simulator:
         """Register a callback invoked on every change of ``net``."""
         self._watchers.setdefault(net, []).append(callback)
 
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`~repro.obs.causality.FlightRecorder`.
+
+        The recorder observes every processed event (with its cause
+        link) plus the derived ``mhs-filtered`` events the flip-flop
+        models report; it never influences the simulation.
+        """
+        self._recorder = recorder
+        recorder.bind(self)
+
     def value(self, net: str) -> int:
         return self.values.get(net, 0)
 
     # ------------------------------------------------------------------
     # event machinery
     # ------------------------------------------------------------------
-    def _post(self, time: float, net: str, value: int) -> None:
+    def _post(
+        self, time: float, net: str, value: int, gate: str | None = None
+    ) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._KIND_NET, self._seq, net, value))
+        heapq.heappush(
+            self._queue,
+            (time, self._KIND_NET, self._seq, net, value, self._cause_ctx, gate),
+        )
 
     def _schedule_check(self, time: float) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._KIND_CHECK, self._seq, "", 0))
+        heapq.heappush(
+            self._queue,
+            (time, self._KIND_CHECK, self._seq, "", 0, self._cause_ctx, None),
+        )
 
     def schedule_callback(
         self, time: float, fn: Callable[["Simulator", float], None]
@@ -275,7 +312,10 @@ class Simulator:
         """
         self._seq += 1
         self._callbacks[self._seq] = fn
-        heapq.heappush(self._queue, (time, self._KIND_CALL, self._seq, "", 0))
+        heapq.heappush(
+            self._queue,
+            (time, self._KIND_CALL, self._seq, "", 0, self._cause_ctx, None),
+        )
 
     def pending(self) -> bool:
         return bool(self._queue)
@@ -293,40 +333,62 @@ class Simulator:
         forever — into a structured, catchable outcome.
         """
         cfg = self.config
-        while self._queue and self._queue[0][0] <= until + 1e-12:
-            time, kind, seq, net, value = heapq.heappop(self._queue)
-            self.now = max(self.now, time)
-            self.events_processed += 1
-            if cfg.max_events is not None and self.events_processed > cfg.max_events:
-                raise SimulationLimitError(
-                    f"event budget exhausted ({cfg.max_events} events)",
-                    limit="events",
-                    events=self.events_processed,
-                    time=self.now,
+        try:
+            while self._queue and self._queue[0][0] <= until + 1e-12:
+                time, kind, seq, net, value, cause, gate = heapq.heappop(
+                    self._queue
                 )
-            if cfg.max_sim_time is not None and time > cfg.max_sim_time:
-                raise SimulationLimitError(
-                    f"simulation time budget exhausted ({cfg.max_sim_time} ns)",
-                    limit="time",
-                    events=self.events_processed,
-                    time=self.now,
-                )
-            if kind == self._KIND_CHECK:
-                self._run_mhs_checks(time)
-                continue
-            if kind == self._KIND_CALL:
-                fn = self._callbacks.pop(seq, None)
-                if fn is not None:
-                    fn(self, time)
-                continue
-            if self.values.get(net) == value:
-                continue
-            self.values[net] = value
-            self.traces.record(net, time, value)
-            for cb in self._watchers.get(net, []):
-                cb(time, value)
-            for g in self._fanout.get(net, []):
-                self._gate_input_changed(g, time)
+                self.now = max(self.now, time)
+                self.events_processed += 1
+                if cfg.max_events is not None and self.events_processed > cfg.max_events:
+                    raise SimulationLimitError(
+                        f"event budget exhausted ({cfg.max_events} events)",
+                        limit="events",
+                        events=self.events_processed,
+                        time=self.now,
+                    )
+                if cfg.max_sim_time is not None and time > cfg.max_sim_time:
+                    raise SimulationLimitError(
+                        f"simulation time budget exhausted ({cfg.max_sim_time} ns)",
+                        limit="time",
+                        events=self.events_processed,
+                        time=self.now,
+                    )
+                # everything scheduled while this event is handled —
+                # gate evaluations, watcher callbacks, lazy injections —
+                # is caused by it
+                self._cause_ctx = seq
+                if kind == self._KIND_CHECK:
+                    if self._recorder is not None:
+                        self._recorder.on_event(
+                            seq, time, "check", net, value, cause, gate
+                        )
+                    self._run_mhs_checks(time)
+                    continue
+                if kind == self._KIND_CALL:
+                    if self._recorder is not None:
+                        self._recorder.on_event(
+                            seq, time, "call", net, value, cause, gate
+                        )
+                    fn = self._callbacks.pop(seq, None)
+                    if fn is not None:
+                        fn(self, time)
+                    continue
+                if self.values.get(net) == value:
+                    continue
+                if self._recorder is not None:
+                    self._recorder.on_event(
+                        seq, time, "net", net, value, cause, gate
+                    )
+                self.values[net] = value
+                self.traces.record(net, time, value)
+                for cb in self._watchers.get(net, []):
+                    cb(time, value)
+                for g in self._fanout.get(net, []):
+                    self._gate_input_changed(g, time)
+        finally:
+            # drives issued between run() calls are cause-DAG roots
+            self._cause_ctx = None
 
     def _pin_value(self, pin) -> int:
         v = self.values.get(pin.net, 0)
@@ -361,15 +423,26 @@ class Simulator:
             # pure delay: schedule unconditionally; the queue's
             # last-write-wins per net at each timestamp reproduces the
             # transport-delay waveform, including narrow pulses.
-            self._post(time + self._delay[g.name], g.output, val)
+            self._post(time + self._delay[g.name], g.output, val, gate=g.name)
         elif t == GateType.MHSFF:
             st = self._mhs[g.name]
+            before_filtered = st.filtered
             sv = self._pin_value(g.inputs[0])
             rv = self._pin_value(g.inputs[1])
             if sv != st.set_level:
                 st.on_set_edge(time, sv)
             if rv != st.reset_level:
                 st.on_reset_edge(time, rv)
+            if self._recorder is not None and st.filtered > before_filtered:
+                # the edge just processed closed a sub-ω drive window:
+                # surface the absorption as a derived cause-DAG event
+                # whose cause is the falling edge itself
+                self._recorder.on_filtered(
+                    time,
+                    gate=g.name,
+                    width=st.filtered_widths[-1],
+                    cause=self._cause_ctx,
+                )
             dl = st.window_deadline()
             if dl is not None:
                 self._schedule_check(dl)
@@ -390,16 +463,34 @@ class Simulator:
                 continue
             st = self._mhs[g.name]
             for t_commit, v in st.check_windows(time):
-                # the output event is applied through the normal queue
+                # the output event is applied through the normal queue;
+                # its cause is the maturity check, which in turn links
+                # back to the edge that opened the drive window
                 self._seq += 1
                 heapq.heappush(
                     self._queue,
-                    (t_commit, self._KIND_NET, self._seq, g.output, v),
+                    (
+                        t_commit,
+                        self._KIND_NET,
+                        self._seq,
+                        g.output,
+                        v,
+                        self._cause_ctx,
+                        g.name,
+                    ),
                 )
                 if g.output_n:
                     heapq.heappush(
                         self._queue,
-                        (t_commit, self._KIND_NET, self._seq, g.output_n, 1 - v),
+                        (
+                            t_commit,
+                            self._KIND_NET,
+                            self._seq,
+                            g.output_n,
+                            1 - v,
+                            self._cause_ctx,
+                            g.name,
+                        ),
                     )
                 st.apply_commit(t_commit, v)
 
@@ -430,9 +521,11 @@ class Simulator:
             elif r and q == 1:
                 fire = 0
         if fire is not None:
-            self._post(time + self.config.cel_tau, g.output, fire)
+            self._post(time + self.config.cel_tau, g.output, fire, gate=g.name)
             if g.output_n:
-                self._post(time + self.config.cel_tau, g.output_n, 1 - fire)
+                self._post(
+                    time + self.config.cel_tau, g.output_n, 1 - fire, gate=g.name
+                )
 
     # ------------------------------------------------------------------
     def mhs_flipflops(self) -> dict[str, Gate]:

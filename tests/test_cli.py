@@ -137,6 +137,73 @@ class TestVcd:
         assert "$var wire" in vcd.read_text()
 
 
+class TestExplain:
+    def test_suite_circuit_text(self, capsys):
+        assert main(["explain", "converta"]) == 0
+        out = capsys.readouterr().out
+        assert "ω-filtered pulse via" in out
+        assert "causal chain" in out
+        assert "environment input transition" in out
+
+    def test_json_document(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "chain.json"
+        assert main(
+            ["explain", "converta", "--format", "json", "-o", str(out_file)]
+        ) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro-causality/1"
+        assert doc["circuit"] == "converta"
+        assert doc["environment_rooted"] is True
+        assert doc["target"]["kind"] == "mhs-filtered"
+        assert doc["sweep"]["mode"] in ("organic", "probe")
+
+    def test_probe_fallback_from_file(self, tmp_path, capsys):
+        """A planes-equal-cubes spec still explains via the probe."""
+        p = tmp_path / "seq.g"
+        p.write_text(ORELEM_LIKE_G)
+        assert main(["explain", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "ω-filtered pulse via" in out
+
+    def test_unknown_target_is_error(self, capsys):
+        assert main(["explain", "no-such-circuit"]) == 1
+
+
+class TestCoverageFlags:
+    def test_synth_verify_coverage(self, gfile, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "cov.json"
+        assert main(
+            [
+                "synth", str(gfile), "--verify", "--runs", "3",
+                "--coverage", "--coverage-out", str(out_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "HAZARD-FREE" in out
+        assert "coverage (celem" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro-coverage/1"
+        assert doc["regions"]["pct"] >= 95.0
+        assert isinstance(doc["trigger_cubes"]["uncovered"], list)
+
+    def test_synth_coverage_without_verify(self, gfile, capsys):
+        """--coverage alone runs the oracle but skips the verdict."""
+        assert main(["synth", str(gfile), "--coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage (celem" in out
+        assert "HAZARD-FREE" not in out
+
+    def test_compare_coverage(self, gfile, capsys):
+        assert main(["compare", str(gfile), "--coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "N-SHOT" in out
+        assert "coverage (celem" in out
+
+
 class TestRegressCli:
     @pytest.fixture()
     def baseline_file(self, tmp_path) -> pathlib.Path:

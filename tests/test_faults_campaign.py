@@ -454,3 +454,48 @@ class TestPointTelemetry:
             include_omega=False,
         ).run()
         assert all(r.telemetry is None for r in res.records + res.baselines)
+
+
+class TestPointCoverage:
+    def test_campaign_points_carry_coverage_deltas(self):
+        res = FaultCampaign(
+            circuits=["c_element"],
+            seeds=2,
+            include_seu=False,
+            include_omega=False,
+            collect_coverage=True,
+        ).run()
+        assert res.records, "expected stuck-at points"
+        for rec in res.records:
+            assert isinstance(rec.coverage, dict)
+            assert set(rec.coverage) >= {
+                "states_pct", "regions_pct", "cubes_pct",
+            }
+            # faulty points diff against the golden exploration ceiling
+            assert isinstance(rec.coverage_delta, dict)
+            assert all(v <= 0.0 for v in rec.coverage_delta.values()), (
+                "a faulty run cannot out-explore the fault-free ceiling"
+            )
+        golden = [r for r in res.baselines if r.coverage]
+        assert golden
+        assert golden[0].coverage["regions_pct"] >= 95.0
+        # a stuck rail visibly collapses state exploration somewhere
+        assert any(
+            rec.coverage_delta.get("states_pct", 0.0) < 0.0
+            for rec in res.records
+        )
+        # the blocks survive the JSON round trip
+        doc = json.loads(res.render_json())
+        assert doc["points"][0]["coverage"] is not None
+
+    def test_coverage_off_by_default(self):
+        res = FaultCampaign(
+            circuits=["c_element"],
+            seeds=1,
+            include_seu=False,
+            include_omega=False,
+        ).run()
+        assert all(
+            r.coverage is None and r.coverage_delta is None
+            for r in res.records + res.baselines
+        )

@@ -47,6 +47,39 @@ class TestFingerprint:
     def test_none_env(self):
         assert len(fingerprint_digest(None)) == 12
 
+    def test_cross_process_stability(self):
+        """Same interpreter on the same box → the same digest in every
+        process, so history entries from separate CI steps correlate."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        from repro.obs.harness import environment_fingerprint
+
+        local = fingerprint_digest(environment_fingerprint())
+        root = pathlib.Path(__file__).resolve().parents[1]
+        env = {
+            **os.environ,
+            "PYTHONPATH": str(root / "src"),
+            # hash randomization must not leak into the digest
+            "PYTHONHASHSEED": "random",
+        }
+        snippet = (
+            "from repro.obs.harness import environment_fingerprint; "
+            "from repro.obs.registry import fingerprint_digest; "
+            "print(fingerprint_digest(environment_fingerprint()))"
+        )
+        digests = [
+            subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True,
+                env=env, cwd=root,
+            ).stdout.strip()
+            for _ in range(2)
+        ]
+        assert digests[0] == digests[1] == local
+
 
 class TestAppend:
     def test_round_trip(self, tmp_path):
@@ -59,11 +92,33 @@ class TestAppend:
         assert loaded["doc"]["schema"] == "repro-bench/1"
         assert loaded["env_digest"] == fingerprint_digest(ENV)
 
-    def test_same_second_runs_get_distinct_files(self, tmp_path):
+    def test_duplicate_append_deduplicated(self, tmp_path):
+        """Same kind + SHA + fingerprint + timestamp → one entry."""
         hist = RunHistory(str(tmp_path / "h"))
         a = hist.append("bench", _doc())
         b = hist.append("bench", _doc())
+        assert b == a
+        assert len(hist.entries()) == 1
+        assert len(list((tmp_path / "h").glob("*.json"))) == 1
+
+    def test_distinct_timestamps_not_deduplicated(self, tmp_path):
+        hist = RunHistory(str(tmp_path / "h"))
+        a = hist.append("bench", _doc(created="2026-08-06T12:00:00Z"))
+        b = hist.append("bench", _doc(created="2026-08-06T12:00:01Z"))
         assert a.file != b.file
+        assert len(hist.entries()) == 2
+
+    def test_distinct_sha_not_deduplicated(self, tmp_path):
+        hist = RunHistory(str(tmp_path / "h"))
+        hist.append("bench", _doc(sha="aaaaaaaaaaaa"))
+        hist.append("bench", _doc(sha="bbbbbbbbbbbb"))
+        assert len(hist.entries()) == 2
+
+    def test_distinct_kind_not_deduplicated(self, tmp_path):
+        """The same document stored under two kinds is two runs."""
+        hist = RunHistory(str(tmp_path / "h"))
+        hist.append("bench", _doc())
+        hist.append("regress", _doc())
         assert len(hist.entries()) == 2
 
     def test_kind_filter_and_latest(self, tmp_path):
@@ -105,10 +160,10 @@ class TestReaderTolerance:
 
     def test_torn_index_line_skipped(self, tmp_path):
         hist = RunHistory(str(tmp_path / "h"))
-        hist.append("bench", _doc())
+        hist.append("bench", _doc(created="2026-08-06T12:00:00Z"))
         with open(hist.index_path, "a") as f:
             f.write('{"file": "half-writ')  # crashed writer
-        hist.append("bench", _doc())
+        hist.append("bench", _doc(created="2026-08-06T12:00:01Z"))
         assert len(hist.entries()) == 2
 
     def test_load_rejects_foreign_file(self, tmp_path):

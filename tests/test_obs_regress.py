@@ -127,6 +127,34 @@ class TestReporting:
         with pytest.raises(ValueError):
             run_regress(baseline, circuits=["no-such"])
 
+    def test_baseline_circuit_unknown_to_suite_skipped(self, baseline):
+        """A baseline from before a circuit rename must not crash the
+        fresh run — the stale name is skipped structurally."""
+        import copy
+
+        doc = copy.deepcopy(baseline)
+        ghost = copy.deepcopy(doc["circuits"][0])
+        ghost["name"] = "ghost-renamed-away"
+        doc["circuits"].append(ghost)
+        report = run_regress(doc, telemetry=False, remeasure=False)
+        assert report.skipped_unknown == ["ghost-renamed-away"]
+        assert report.ok and report.exit_code() == 0
+        assert "ghost-renamed-away" in report.render_text()
+        assert report.to_json_doc()["skipped_unknown"] == [
+            "ghost-renamed-away"
+        ]
+        md = report.render_markdown()
+        assert "## Skipped" in md and "unknown to the current" in md
+
+    def test_baseline_with_only_unknown_circuits_raises(self, baseline):
+        import copy
+
+        doc = copy.deepcopy(baseline)
+        for entry in doc["circuits"]:
+            entry["name"] = "ghost-renamed-away"
+        with pytest.raises(ValueError, match="known to the current"):
+            run_regress(doc, telemetry=False, remeasure=False)
+
     def test_load_baseline_rejects_invalid(self, tmp_path):
         p = tmp_path / "bad.json"
         p.write_text('{"schema": "other/9"}')
