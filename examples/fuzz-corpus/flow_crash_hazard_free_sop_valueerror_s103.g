@@ -1,0 +1,17 @@
+# repro-fuzz reproducer (minimized counterexample; do not edit)
+# signature: flow-crash:hazard_free_sop:ValueError
+# kind: flow-crash
+# flow: hazard_free_sop
+# seed: 103
+# knobs: {"csc": true, "distributive": true, "signals": 2, "single_traversal": true}
+# labels: {"consistent": true, "csc": true, "detonant_count": 0, "distributive": true, "inputs": 1, "semimodular": true, "signals": 2, "single_traversal": true, "states": 4, "usc": true}
+# detail: ValueError: empty pin list
+# states: 2
+.model min_flow_crash
+.inputs a
+.outputs b
+.state graph
+s0 b+ s1
+.coding s0 00
+.marking {s0}
+.end

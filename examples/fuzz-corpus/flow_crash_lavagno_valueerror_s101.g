@@ -1,0 +1,16 @@
+# repro-fuzz reproducer (minimized counterexample; do not edit)
+# signature: flow-crash:lavagno:ValueError
+# kind: flow-crash
+# flow: lavagno
+# seed: 101
+# knobs: {"csc": true, "distributive": true, "signals": 2, "single_traversal": true}
+# labels: {"consistent": true, "csc": true, "detonant_count": 0, "distributive": true, "inputs": 1, "semimodular": true, "signals": 2, "single_traversal": true, "states": 4, "usc": true}
+# detail: ValueError: empty pin list
+# states: 1
+.model min_flow_crash
+.inputs a
+.outputs b
+.state graph
+.coding s0 00
+.marking {s0}
+.end

@@ -11,14 +11,28 @@
   ([9]): Q-flop synchronizers on every input and feedback signal, an
   N-way C-element rendezvous and a worst-case-delay local clock; the
   cost structure Section II argues against.
+* :mod:`repro.baselines.hazard_free_sop` — shared hazard-aware SOP
+  machinery, plus the purely combinational hazard-free SOP flow (the
+  strictest baseline: refuses anything with function hazards).
+
+All flows refuse bad input with a structured
+:class:`~repro.core.synthesizer.SynthesisError` carrying machine-
+readable diagnostics — :class:`~repro.baselines.errors.BaselineRefusal`
+subclasses for the method-specific restrictions, so the differential
+fuzzer (and callers generally) can tell a principled refusal from a
+crash.
 """
 
+from .errors import BaselineRefusal, require_valid_spec
 from .hazard_free_sop import (
     NextStateSpec,
     next_state_function,
     static_one_hazard_pairs,
     add_hazard_cover_cubes,
     function_hazard_states,
+    HazardFreeSopResult,
+    UnmaskableHazardError,
+    synthesize_hazard_free_sop,
 )
 from .lavagno import LavagnoResult, NotDistributiveError, synthesize_lavagno
 from .beerel import BeerelResult, StateSignalsRequiredError, synthesize_beerel
@@ -26,11 +40,16 @@ from .complex_gate import ComplexGateResult, synthesize_complex_gate
 from .qflop import QModuleResult, synthesize_qmodule
 
 __all__ = [
+    "BaselineRefusal",
+    "require_valid_spec",
     "NextStateSpec",
     "next_state_function",
     "static_one_hazard_pairs",
     "add_hazard_cover_cubes",
     "function_hazard_states",
+    "HazardFreeSopResult",
+    "UnmaskableHazardError",
+    "synthesize_hazard_free_sop",
     "LavagnoResult",
     "NotDistributiveError",
     "synthesize_lavagno",

@@ -29,18 +29,20 @@ from dataclasses import dataclass, field
 from ..logic import Cover, Cube, supercube_of
 from ..netlist import Gate, GateType, Netlist, Pin
 from ..netlist.trees import build_gate_tree
-from ..sg.distributivity import is_distributive
+from ..sg.distributivity import is_distributive, non_distributive_signals
 from ..sg.encoding import unreachable_cover
 from ..sg.graph import StateGraph
-from ..sg.properties import validate_for_synthesis
 from ..sg.regions import signal_regions
+from .errors import BaselineRefusal, refusal_diagnostic, require_valid_spec
 from .lavagno import NotDistributiveError
 
 __all__ = ["BeerelResult", "StateSignalsRequiredError", "synthesize_beerel"]
 
 
-class StateSignalsRequiredError(ValueError):
+class StateSignalsRequiredError(BaselineRefusal):
     """Table 2 failure code (2): monotonous covers need new state signals."""
+
+    code = "(2)"
 
 
 @dataclass
@@ -98,12 +100,18 @@ def synthesize_beerel(
 ) -> BeerelResult:
     """Run the standard-C monotonous-cover flow on a distributive SG."""
     if validate:
-        rep = validate_for_synthesis(sg)
-        if not rep.ok:
-            raise ValueError(rep.summary())
+        require_valid_spec(sg, name)
     if not is_distributive(sg):
+        bad = ", ".join(sg.signals[a] for a in non_distributive_signals(sg))
         raise NotDistributiveError(
-            "(1) non-distributive SG: SYN/Beerel flow not applicable"
+            "(1) non-distributive SG: SYN/Beerel flow not applicable",
+            diagnostics=refusal_diagnostic(
+                "BL001",
+                f"detonant (OR-caused) signals: {bad}",
+                name,
+                hint="only the N-SHOT/complex-gate/Q-module flows accept "
+                "non-distributive specifications",
+            ),
         )
 
     nl = Netlist(name)
@@ -182,6 +190,21 @@ def synthesize_beerel(
                 cube_nets: list[str] = []
                 for k, cube in enumerate(cubes):
                     pins = cube_pins(cube)
+                    if not pins:
+                        # tautology cube (monotonous cover of an
+                        # everywhere-excited region): constant 1
+                        net = nl.fresh_net(f"p_{kind}_{sig}_")
+                        nl.add(
+                            Gate(
+                                f"c1_{kind}_{sig}{k}",
+                                GateType.CONST,
+                                [],
+                                net,
+                                attrs={"value": 1},
+                            )
+                        )
+                        cube_nets.append(net)
+                        continue
                     if len(pins) == 1 and not pins[0].inverted:
                         cube_nets.append(pins[0].net)
                         continue

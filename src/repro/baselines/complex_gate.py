@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from ..logic import Cover, minimize
 from ..netlist import Gate, GateType, Netlist, Pin
 from ..sg.graph import StateGraph
-from ..sg.properties import validate_for_synthesis
+from .errors import require_valid_spec
 from .hazard_free_sop import next_state_function
 
 __all__ = ["ComplexGateResult", "synthesize_complex_gate"]
@@ -51,9 +51,7 @@ def synthesize_complex_gate(
     complex-gate assumption taken at face value.
     """
     if validate:
-        rep = validate_for_synthesis(sg)
-        if not rep.ok:
-            raise ValueError(rep.summary())
+        require_valid_spec(sg, name)
 
     nl = Netlist(name)
     for i in sorted(sg.inputs):
@@ -78,6 +76,23 @@ def synthesize_complex_gate(
                     seen.add(key)
                     pins.append(Pin(*key))
         worst_fanin = max(worst_fanin, len(pins))
+        if not pins:
+            # constant next-state function (a tautological cover is
+            # constant 1, an empty one constant 0): no cell inputs
+            nl.add(
+                Gate(
+                    f"cplx_{sig}",
+                    GateType.CONST,
+                    [],
+                    sig,
+                    attrs={
+                        "cut": True,
+                        "complex": True,
+                        "value": 1 if cover.cubes else 0,
+                    },
+                )
+            )
+            continue
         # single complex cell: modelled as one wide AND for area/delay
         # accounting (area ≈ literal count, delay = 1 level); marked as
         # a cut since it latches through internal feedback

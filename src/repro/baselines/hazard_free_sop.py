@@ -17,18 +17,27 @@ architecture removes.  This module provides the shared machinery:
 * :func:`function_hazard_states` — states where ≥2 concurrently
   enabled transitions both affect the function: a *function* hazard no
   combinational fix can remove — the bounded-delay flow masks these
-  with delay padding instead.
+  with delay padding instead;
+* :func:`synthesize_hazard_free_sop` — the helpers as a flow of their
+  own: a *purely combinational* hazard-free SOP implementation (no
+  storage, no delay padding).  It refuses any spec with function
+  hazards (:class:`UnmaskableHazardError`) — the strictest baseline in
+  the differential bench, exhibiting exactly the failure mode the
+  bounded-delay and N-SHOT methods exist to remove.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..logic import Cover, Cube
+from ..logic import Cover, Cube, minimize
 from ..logic.espresso import expand as espresso_expand
+from ..netlist import Gate, GateType, Netlist, Pin
+from ..netlist.trees import build_gate_tree
 from ..sg.encoding import states_to_cover, unreachable_cover
 from ..sg.graph import StateGraph, StateId
 from ..sg.regions import signal_regions
+from .errors import BaselineRefusal, refusal_diagnostic, require_valid_spec
 
 __all__ = [
     "NextStateSpec",
@@ -36,7 +45,22 @@ __all__ = [
     "static_one_hazard_pairs",
     "add_hazard_cover_cubes",
     "function_hazard_states",
+    "UnmaskableHazardError",
+    "HazardFreeSopResult",
+    "synthesize_hazard_free_sop",
 ]
+
+
+class UnmaskableHazardError(BaselineRefusal):
+    """Failure code (fh): function hazards need delay masking.
+
+    A purely combinational AND-OR plane cannot be glitch-free across a
+    multi-input change that moves the function non-monotonically —
+    only delay padding (Lavagno) or the MHS flip-flop (N-SHOT) absorbs
+    those, and this flow has neither.
+    """
+
+    code = "(fh)"
 
 
 @dataclass
@@ -157,3 +181,122 @@ def function_hazard_states(sg: StateGraph, spec: NextStateSpec) -> list[StateId]
         if exposed:
             out.append(s)
     return out
+
+
+@dataclass
+class HazardFreeSopResult:
+    """Outcome of the purely combinational hazard-free SOP flow."""
+
+    sg: StateGraph
+    netlist: Netlist
+    covers: dict[int, Cover]
+    hazard_cubes_added: int
+    padded_signals: list[str] = field(default_factory=list)
+
+    def stats(self):
+        return self.netlist.stats()
+
+
+def synthesize_hazard_free_sop(
+    sg: StateGraph,
+    name: str = "hfsop",
+    method: str = "espresso",
+    validate: bool = True,
+) -> HazardFreeSopResult:
+    """Purely combinational hazard-free SOP flow (no storage, no delays).
+
+    Each non-input signal becomes a feedback SOP of its next-state
+    function, repaired by :func:`add_hazard_cover_cubes` until every
+    static-1 transition pair is single-cube covered.  Function hazards
+    have no combinational fix, so any spec exposing one is refused with
+    :class:`UnmaskableHazardError` — the Lavagno flow continues from
+    here by padding delay lines; this flow deliberately does not.
+    """
+    if validate:
+        require_valid_spec(sg, name)
+
+    for a in sg.non_inputs:
+        spec = next_state_function(sg, a)
+        exposed = function_hazard_states(sg, spec)
+        if exposed:
+            sig = sg.signals[a]
+            states = ", ".join(str(s) for s in exposed[:4])
+            more = "" if len(exposed) <= 4 else f" (+{len(exposed) - 4} more)"
+            raise UnmaskableHazardError(
+                f"(fh) function hazard on {sig}: combinational SOP cannot "
+                f"be glitch-free at states {states}{more}",
+                diagnostics=refusal_diagnostic(
+                    "BL002",
+                    f"signal {sig} has function hazards at "
+                    f"{len(exposed)} state(s): {states}{more}",
+                    name,
+                    hint="use the bounded-delay (lavagno) flow, which masks "
+                    "function hazards with delay lines, or the N-SHOT flow",
+                ),
+            )
+
+    nl = Netlist(name)
+    for i in sorted(sg.inputs):
+        nl.add_input(sg.signals[i])
+    for a in sg.non_inputs:
+        nl.add_output(sg.signals[a])
+
+    covers: dict[int, Cover] = {}
+    hazard_added = 0
+
+    for a in sg.non_inputs:
+        spec = next_state_function(sg, a)
+        cover = minimize(spec.on, spec.dc, spec.off, method=method)
+        cover, added = add_hazard_cover_cubes(sg, spec, cover)
+        hazard_added += added
+        covers[a] = cover
+        sig = sg.signals[a]
+
+        cube_nets: list[str] = []
+        for k, cube in enumerate(cover.cubes):
+            pins = []
+            for var in cube.fixed_vars():
+                positive = cube.literal(var) == 0b10
+                pins.append(Pin(sg.signals[var], inverted=not positive))
+            if not pins:
+                # tautology cube: constant-1 next-state function
+                # (fuzz corpus: flow_crash_hazard_free_sop_valueerror)
+                net = nl.fresh_net(f"p_{sig}_")
+                nl.add(
+                    Gate(f"c1_{sig}{k}", GateType.CONST, [], net, attrs={"value": 1})
+                )
+                cube_nets.append(net)
+                continue
+            if len(pins) == 1 and not pins[0].inverted:
+                cube_nets.append(pins[0].net)
+                continue
+            net = nl.fresh_net(f"p_{sig}_")
+            build_gate_tree(nl, GateType.AND, pins, net, f"and_{sig}{k}")
+            cube_nets.append(net)
+        plane = nl.fresh_net(f"f_{sig}_")
+        if not cube_nets:
+            nl.add(
+                Gate(f"c0_{sig}", GateType.CONST, [], plane, attrs={"value": 0})
+            )
+        elif len(cube_nets) == 1:
+            nl.add(Gate(f"buf_{sig}", GateType.BUF, [Pin(cube_nets[0])], plane))
+        else:
+            build_gate_tree(
+                nl, GateType.OR, [Pin(c) for c in cube_nets], plane, f"or_{sig}"
+            )
+        nl.add(
+            Gate(
+                f"out_{sig}",
+                GateType.BUF,
+                [Pin(plane)],
+                sig,
+                attrs={"cut": True},
+            )
+        )
+
+    return HazardFreeSopResult(
+        sg=sg,
+        netlist=nl,
+        covers=covers,
+        hazard_cubes_added=hazard_added,
+    )

@@ -28,9 +28,9 @@ from dataclasses import dataclass, field
 from ..logic import Cover, minimize
 from ..netlist import Gate, GateType, Netlist, Pin
 from ..netlist.trees import build_gate_tree
-from ..sg.distributivity import is_distributive
+from ..sg.distributivity import is_distributive, non_distributive_signals
 from ..sg.graph import StateGraph
-from ..sg.properties import validate_for_synthesis
+from .errors import BaselineRefusal, refusal_diagnostic, require_valid_spec
 from .hazard_free_sop import (
     add_hazard_cover_cubes,
     function_hazard_states,
@@ -40,8 +40,10 @@ from .hazard_free_sop import (
 __all__ = ["LavagnoResult", "NotDistributiveError", "synthesize_lavagno"]
 
 
-class NotDistributiveError(ValueError):
+class NotDistributiveError(BaselineRefusal):
     """Table 2 failure code (1): the flow handles only distributive SGs."""
+
+    code = "(1)"
 
 
 @dataclass
@@ -74,12 +76,18 @@ def synthesize_lavagno(
     depth being masked plus margin).
     """
     if validate:
-        rep = validate_for_synthesis(sg)
-        if not rep.ok:
-            raise ValueError(rep.summary())
+        require_valid_spec(sg, name)
     if not is_distributive(sg):
+        bad = ", ".join(sg.signals[a] for a in non_distributive_signals(sg))
         raise NotDistributiveError(
-            "(1) non-distributive SG: SIS/Lavagno flow not applicable"
+            "(1) non-distributive SG: SIS/Lavagno flow not applicable",
+            diagnostics=refusal_diagnostic(
+                "BL001",
+                f"detonant (OR-caused) signals: {bad}",
+                name,
+                hint="only the N-SHOT/complex-gate/Q-module flows accept "
+                "non-distributive specifications",
+            ),
         )
 
     nl = Netlist(name)
@@ -112,6 +120,15 @@ def synthesize_lavagno(
         cube_nets = []
         for k, cube in enumerate(cover.cubes):
             pins = pins_of(cube)
+            if not pins:
+                # tautology cube: the next-state function is constant 1
+                # (fuzz corpus: flow_crash_lavagno_valueerror)
+                net = nl.fresh_net(f"p_{sig}_")
+                nl.add(
+                    Gate(f"c1_{sig}{k}", GateType.CONST, [], net, attrs={"value": 1})
+                )
+                cube_nets.append(net)
+                continue
             if len(pins) == 1 and not pins[0].inverted:
                 cube_nets.append(pins[0].net)
                 continue
@@ -119,7 +136,10 @@ def synthesize_lavagno(
             build_gate_tree(nl, GateType.AND, pins, net, f"and_{sig}{k}")
             cube_nets.append(net)
         plane = nl.fresh_net(f"f_{sig}_")
-        if len(cube_nets) == 1:
+        if not cube_nets:
+            # empty cover: the signal never rises — constant 0
+            nl.add(Gate(f"c0_{sig}", GateType.CONST, [], plane, attrs={"value": 0}))
+        elif len(cube_nets) == 1:
             nl.add(Gate(f"buf_{sig}", GateType.BUF, [Pin(cube_nets[0])], plane))
         else:
             build_gate_tree(

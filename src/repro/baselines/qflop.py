@@ -32,7 +32,7 @@ from ..logic import Cover, minimize
 from ..netlist import DEFAULT_LIBRARY, Gate, GateType, Netlist, Pin
 from ..netlist.trees import build_gate_tree
 from ..sg.graph import StateGraph
-from ..sg.properties import validate_for_synthesis
+from .errors import require_valid_spec
 from .hazard_free_sop import next_state_function
 
 __all__ = ["QModuleResult", "synthesize_qmodule"]
@@ -61,9 +61,7 @@ def synthesize_qmodule(
 ) -> QModuleResult:
     """Synthesize with the locally-clocked Q-module architecture of [9]."""
     if validate:
-        rep = validate_for_synthesis(sg)
-        if not rep.ok:
-            raise ValueError(rep.summary())
+        require_valid_spec(sg, name)
 
     nl = Netlist(name)
     for i in sorted(sg.inputs):
@@ -105,6 +103,15 @@ def synthesize_qmodule(
             for var in cube.fixed_vars():
                 positive = cube.literal(var) == 0b10
                 pins.append(Pin(sampled[var], inverted=not positive))
+            if not pins:
+                # tautology cube: constant-1 next-state function
+                # (fuzz corpus: flow_crash_qflop_valueerror)
+                net = nl.fresh_net(f"p_{sig}_")
+                nl.add(
+                    Gate(f"c1_{sig}{k}", GateType.CONST, [], net, attrs={"value": 1})
+                )
+                cube_nets.append(net)
+                continue
             if len(pins) == 1 and not pins[0].inverted:
                 cube_nets.append(pins[0].net)
                 continue

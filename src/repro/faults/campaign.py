@@ -14,8 +14,12 @@ outcome per point.  Design rules:
   alarm; a fault-induced oscillator therefore costs bounded work;
 * **fan-out** — ``jobs > 1`` distributes whole faults (each worker
   runs that fault's seeds sequentially, stopping early on the first
-  detection) over a ``multiprocessing`` pool; fault models are frozen
-  dataclasses precisely so they pickle.
+  detection) over the shared watchdog-guarded pool
+  (:mod:`repro.fuzz.executor`); fault models are frozen dataclasses
+  precisely so they pickle;
+* **clean interruption** — Ctrl-C (or a dying worker) terminates the
+  pool cleanly and the partial report is flushed with
+  ``truncated=True`` instead of losing the completed points.
 
 Circuits are referenced by name through the benchmark fault suite
 (:mod:`repro.bench.fault_suite`) so worker processes can rebuild them
@@ -24,16 +28,13 @@ locally instead of shipping netlists over the pipe.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import signal
-import threading
 import time as _time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..core.verify import run_oracle
 from ..obs import MetricsRegistry, Tracer, get_metrics, get_tracer, set_metrics, set_tracer, trace_span
+from ..fuzz.executor import ExecutorPolicy, WallClockTimeout, run_tasks, wall_clock_guard
 from ..sim.simulator import SimConfig
 from .models import FaultModel, enumerate_faults
 from .report import CampaignResult, PointRecord
@@ -58,31 +59,10 @@ class WatchdogLimits:
     wall_clock: float | None = None
 
 
-class _WallClockTimeout(Exception):
-    """Internal: the SIGALRM per-point guard fired."""
-
-
-@contextmanager
-def _wall_clock_guard(seconds: float | None):
-    usable = (
-        seconds
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _handler(signum, frame):
-        raise _WallClockTimeout()
-
-    old = signal.signal(signal.SIGALRM, _handler)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, old)
+# the per-point guard now lives in the shared executor; the old private
+# names are kept as aliases for code written against them
+_WallClockTimeout = WallClockTimeout
+_wall_clock_guard = wall_clock_guard
 
 
 # ----------------------------------------------------------------------
@@ -352,8 +332,15 @@ class FaultCampaign:
         over the pool pipe and merged under this call's
         ``fault-campaign`` span — one coherent trace regardless of
         ``jobs``; worker metrics merge into the parent registry too.
+
+        The fan-out runs on the shared watchdog-guarded executor
+        (:func:`repro.fuzz.run_tasks`): a worker that dies mid-unit
+        becomes an ``error`` point record instead of hanging the pool,
+        and ``KeyboardInterrupt`` flushes the completed units as a
+        partial report with ``truncated=True``.
         """
         tracer = get_tracer()
+        units = self.units()
         payloads = [
             (
                 name,
@@ -366,22 +353,42 @@ class FaultCampaign:
                 self.collect_telemetry,
                 self.collect_coverage,
             )
-            for name, fault in self.units()
+            for name, fault in units
         ]
+        truncated = False
         with trace_span(
             "fault-campaign", circuits=",".join(self.circuits), jobs=jobs
         ) as sp:
-            if jobs > 1 and len(payloads) > 1:
-                with multiprocessing.Pool(processes=jobs) as pool:
-                    outputs = pool.map(_run_unit, payloads)
-            else:
-                outputs = [_run_unit(p) for p in payloads]
+            batch_report = run_tasks(
+                _run_unit, payloads, ExecutorPolicy(jobs=jobs)
+            )
+            truncated = batch_report.truncated
             batches = []
-            for records, trace_export, metrics_export in outputs:
-                batches.append(records)
-                tracer.adopt(trace_export, parent_id=sp.id)
-                get_metrics().merge(metrics_export)
-            sp.set(units=len(batches))
+            for tr in batch_report.results:
+                if tr.ok:
+                    records, trace_export, metrics_export = tr.value
+                    batches.append(records)
+                    tracer.adopt(trace_export, parent_id=sp.id)
+                    get_metrics().merge(metrics_export)
+                    continue
+                if tr.status == "cancelled":
+                    continue  # interrupted before it ran: truncated report
+                # a unit that escaped _run_unit's own containment (worker
+                # death, executor timeout) is still a recorded outcome
+                name, fault = units[tr.index]
+                batches.append(
+                    [
+                        PointRecord(
+                            circuit=name,
+                            fault_kind=fault.kind,
+                            fault=fault.describe(),
+                            seed=-1,
+                            outcome="timeout" if tr.status == "timeout" else "error",
+                            detail=f"executor: {tr.status}: {tr.detail}",
+                        )
+                    ]
+                )
+            sp.set(units=len(batches), truncated=truncated)
         result = CampaignResult(
             circuits=list(self.circuits),
             seeds=self.seeds,
@@ -392,6 +399,7 @@ class FaultCampaign:
                 "max_transitions": self.limits.max_transitions,
                 "wall_clock": self.limits.wall_clock,
             },
+            truncated=truncated,
         )
         for batch in batches:
             for rec in batch:

@@ -107,6 +107,9 @@ class CampaignResult:
     seeds: int = 0
     jitter: float = 0.0
     limits: dict = field(default_factory=dict)
+    #: the campaign was interrupted (Ctrl-C / pool failure) and this is
+    #: a partial report: completed points only, nothing fabricated
+    truncated: bool = False
 
     # ------------------------------------------------------------------
     # aggregation
@@ -192,6 +195,7 @@ class CampaignResult:
             "num_points": len(self.records),
             "coverage": round(self.coverage, 4),
             "baseline_ok": self.baseline_ok,
+            "truncated": self.truncated,
             "outcomes": counts,
             "runtime_by_outcome": self.runtime_by_outcome(),
             "faults": [asdict(fo) for fo in self.fault_outcomes()],
@@ -208,7 +212,8 @@ class CampaignResult:
         lines = [
             f"fault campaign: {len(self.circuits)} circuit(s), "
             f"{self.num_faults} faults, {len(self.records)} points "
-            f"({self.seeds} seeds max, jitter ±{self.jitter:g})",
+            f"({self.seeds} seeds max, jitter ±{self.jitter:g})"
+            + ("  [TRUNCATED — partial report]" if self.truncated else ""),
             f"  baseline (golden) runs clean: {self.baseline_ok}",
             "  outcomes per fault: "
             + ", ".join(f"{k}={counts[k]}" for k in OUTCOMES),
@@ -271,4 +276,5 @@ def parse_campaign_json(doc: dict | str) -> CampaignResult:
         seeds=int(doc.get("seeds", 0)),
         jitter=float(doc.get("jitter", 0.0)),
         limits=dict(doc.get("limits", {})),
+        truncated=bool(doc.get("truncated", False)),
     )

@@ -1,0 +1,77 @@
+"""Differential fuzzing subsystem.
+
+Property-controlled spec generation (:mod:`~repro.fuzz.generator`),
+crash-contained cross-synthesis (:mod:`~repro.fuzz.differential`) over
+the shared watchdog-guarded pool (:mod:`~repro.fuzz.executor`),
+delta-debugging minimization (:mod:`~repro.fuzz.shrink`) and the
+reproducer corpus (:mod:`~repro.fuzz.corpus`).  Entry point:
+:func:`run_fuzz` / the ``repro fuzz`` CLI.
+"""
+
+from .corpus import CorpusEntry, archive_reproducer, load_corpus, replay_entry
+from .differential import (
+    DISAGREEMENT_KINDS,
+    FLOW_NAMES,
+    Disagreement,
+    FlowOutcome,
+    FuzzConfig,
+    SpecResult,
+    judge,
+    run_flow,
+    run_fuzz,
+)
+from .executor import (
+    ExecutorPolicy,
+    ExecutorReport,
+    TaskResult,
+    WallClockTimeout,
+    run_tasks,
+    wall_clock_guard,
+)
+from .generator import (
+    GeneratedSpec,
+    GenerationError,
+    SpecKnobs,
+    SpecLabels,
+    classify,
+    derive_seed,
+    generate_spec,
+    knob_combinations,
+)
+from .report import SCHEMA, FuzzReport
+from .shrink import disagreement_predicate, shrink_disagreement, shrink_sg
+
+__all__ = [
+    "CorpusEntry",
+    "archive_reproducer",
+    "load_corpus",
+    "replay_entry",
+    "DISAGREEMENT_KINDS",
+    "FLOW_NAMES",
+    "Disagreement",
+    "FlowOutcome",
+    "FuzzConfig",
+    "SpecResult",
+    "judge",
+    "run_flow",
+    "run_fuzz",
+    "ExecutorPolicy",
+    "ExecutorReport",
+    "TaskResult",
+    "WallClockTimeout",
+    "run_tasks",
+    "wall_clock_guard",
+    "GeneratedSpec",
+    "GenerationError",
+    "SpecKnobs",
+    "SpecLabels",
+    "classify",
+    "derive_seed",
+    "generate_spec",
+    "knob_combinations",
+    "SCHEMA",
+    "FuzzReport",
+    "disagreement_predicate",
+    "shrink_disagreement",
+    "shrink_sg",
+]

@@ -1,0 +1,106 @@
+"""Structured results of a differential fuzz campaign.
+
+``FuzzReport.to_json`` emits the versioned ``repro-fuzz/1`` document
+the CLI writes with ``--format json`` and the CI smoke job uploads as
+an artifact; ``render_text`` is the human summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from .differential import DISAGREEMENT_KINDS, Disagreement, FuzzConfig, SpecResult
+
+__all__ = ["SCHEMA", "FuzzReport"]
+
+SCHEMA = "repro-fuzz/1"
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign produced."""
+
+    config: FuzzConfig
+    samples: list[SpecResult] = field(default_factory=list)
+    #: every disagreement, one per (sample, finding)
+    disagreements: list[Disagreement] = field(default_factory=list)
+    #: the campaign was interrupted; trailing samples are missing
+    truncated: bool = False
+    runtime: float = 0.0
+    _by_signature: dict[str, Disagreement] = field(default_factory=dict)
+
+    def add_disagreement(self, d: Disagreement) -> None:
+        self.disagreements.append(d)
+        self._by_signature.setdefault(d.signature, d)
+
+    def unique_disagreements(self) -> list[Disagreement]:
+        """First witness per signature — what gets minimized/archived."""
+        return list(self._by_signature.values())
+
+    @property
+    def clean(self) -> bool:
+        return not self.disagreements
+
+    def counts(self) -> dict[str, int]:
+        out = {k: 0 for k in DISAGREEMENT_KINDS}
+        for d in self.disagreements:
+            out[d.kind] = out.get(d.kind, 0) + 1
+        return {k: v for k, v in out.items() if v}
+
+    def flow_table(self) -> dict[str, dict[str, int]]:
+        """Per-flow outcome histogram across all samples."""
+        table: dict[str, dict[str, int]] = {}
+        for s in self.samples:
+            for o in s.outcomes:
+                row = table.setdefault(o.flow, {})
+                row[o.status] = row.get(o.status, 0) + 1
+        return table
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "config": asdict(self.config),
+            "summary": {
+                "samples": len(self.samples),
+                "disagreements": len(self.disagreements),
+                "unique_signatures": len(self._by_signature),
+                "kinds": self.counts(),
+                "flows": self.flow_table(),
+                "truncated": self.truncated,
+                "runtime": round(self.runtime, 3),
+            },
+            "samples": [s.to_json() for s in self.samples],
+            "disagreements": [d.to_json() for d in self.unique_disagreements()],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"fuzz campaign: seed={self.config.seed} budget={self.config.budget} "
+            f"signals={self.config.signals} "
+            f"(csc={self.config.csc} distributive={self.config.distributive} "
+            f"traversal={self.config.traversal})",
+            f"  samples:       {len(self.samples)}"
+            + ("  [TRUNCATED]" if self.truncated else ""),
+        ]
+        table = self.flow_table()
+        for flow in sorted(table):
+            row = table[flow]
+            cells = "  ".join(f"{k}={row[k]}" for k in sorted(row))
+            lines.append(f"  {flow:<16} {cells}")
+        if self.clean:
+            lines.append("  disagreements: none — all flows agree with the matrix")
+        else:
+            lines.append(
+                f"  disagreements: {len(self.disagreements)} "
+                f"({len(self._by_signature)} unique)"
+            )
+            for d in self.unique_disagreements():
+                size = ""
+                if d.minimized_text is not None:
+                    size = (
+                        f" [minimized {d.original_states}→{d.minimized_states} "
+                        f"states in {d.shrink_evals} evals]"
+                    )
+                lines.append(f"    {d.signature}: seed={d.seed} {d.detail}{size}")
+        lines.append(f"  runtime: {self.runtime:.1f}s")
+        return "\n".join(lines)

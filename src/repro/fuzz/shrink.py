@@ -1,0 +1,208 @@
+"""Delta-debugging minimizer for fuzz disagreements.
+
+A raw counterexample from the generator has dozens of states; the bug
+it witnesses usually needs a handful.  :func:`shrink_disagreement`
+re-derives the disagreement as an executable predicate and then
+greedily removes **states** (ddmin over chunks, reachability-restricted)
+and **arcs** (single sweep) while two invariants hold:
+
+1. the classifier labels the judges read (consistency, CSC,
+   semi-modularity, distributivity) stay exactly what they were — the
+   capability-matrix expectation must not drift mid-shrink;
+2. the disagreement predicate still fires — same kind, same flow, same
+   error type.
+
+Every candidate is evaluated by actually re-running the flow (or lint,
+or oracle), so the budget ``max_evals`` bounds the wall-clock cost; the
+result is the smallest witness found within budget, not a global
+minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sg.graph import StateGraph
+from ..sg.sgformat import parse_sg, write_sg
+from .differential import Disagreement, run_flow
+from .generator import classify
+
+__all__ = ["shrink_sg", "shrink_disagreement", "disagreement_predicate"]
+
+
+def _label_key(sg: StateGraph) -> tuple[bool, bool, bool, bool]:
+    labels = classify(sg)
+    return (
+        labels.consistent,
+        labels.csc,
+        labels.semimodular,
+        labels.distributive,
+    )
+
+
+def disagreement_predicate(d: Disagreement) -> Callable[[StateGraph], bool] | None:
+    """The disagreement as a re-runnable check, or None if not shrinkable.
+
+    The predicate never raises: a candidate that explodes in a new way
+    simply does not reproduce *this* disagreement.
+    """
+    kind, flow = d.kind, d.flow
+
+    if kind == "flow-crash" and flow != "harness":
+        etype = d.detail.split(":", 1)[0].strip() if d.detail else ""
+
+        def crash_pred(sg: StateGraph) -> bool:
+            o = run_flow(flow, sg, name="shrink", timeout=10.0)
+            return o.status == "crashed" and (not etype or o.error_type == etype)
+
+        return crash_pred
+
+    if kind == "unexpected-refusal":
+        etype = d.detail.split(":", 1)[0].strip()
+
+        def refusal_pred(sg: StateGraph) -> bool:
+            o = run_flow(flow, sg, name="shrink", timeout=10.0)
+            return o.status == "refused" and o.error_type == etype
+
+        return refusal_pred
+
+    if kind == "unexpected-success":
+
+        def success_pred(sg: StateGraph) -> bool:
+            o = run_flow(flow, sg, name="shrink", timeout=10.0)
+            return o.status == "ok"
+
+        return success_pred
+
+    if kind == "oracle-violation":
+        from .differential import _oracle_outcome
+
+        def oracle_pred(sg: StateGraph) -> bool:
+            o = run_flow("nshot", sg, name="shrink", timeout=10.0)
+            if o.status != "ok":
+                return False
+            try:
+                from ..core.synthesizer import synthesize
+
+                circuit = synthesize(sg, name="shrink")
+            except Exception:
+                return False
+            _, findings = _oracle_outcome(
+                circuit, sg, runs=1, base_seed=d.seed, timeout=10.0
+            )
+            return bool(findings)
+
+        return oracle_pred
+
+    if kind in ("lint-mismatch", "lint-crash"):
+        from .differential import _lint_findings
+
+        def lint_pred(sg: StateGraph) -> bool:
+            try:
+                labels = classify(sg)
+            except Exception:
+                return False
+            return any(k == kind for k, _, _ in _lint_findings(sg, labels, "shrink"))
+
+        return lint_pred
+
+    return None  # flow-timeout, generator-error, harness: not shrinkable
+
+
+def shrink_sg(
+    sg: StateGraph,
+    keep: Callable[[StateGraph], bool],
+    max_evals: int = 200,
+) -> tuple[StateGraph, int]:
+    """ddmin over states, then an arc sweep, under an eval budget.
+
+    ``keep(candidate)`` must return True when the candidate still
+    witnesses the bug; it is assumed (and not re-checked) to hold for
+    ``sg`` itself.  Returns the smallest passing SG and the number of
+    evaluations spent.
+    """
+    evals = 0
+
+    def check(candidate: StateGraph) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        if candidate.initial is None or candidate.num_states < 1:
+            return False
+        try:
+            return keep(candidate)
+        except Exception:
+            return False
+
+    # --- phase 1: ddmin on the state set (always keeping the initial)
+    current = sg
+    chunk = max(1, current.num_states // 2)
+    while chunk >= 1 and evals < max_evals:
+        states = [s for s in current.states() if s != current.initial]
+        shrunk = False
+        i = 0
+        while i < len(states) and evals < max_evals:
+            drop = set(states[i : i + chunk])
+            candidate = current.subgraph(
+                set(current.states()) - drop
+            ).restrict_to_reachable()
+            if candidate.num_states < current.num_states and check(candidate):
+                current = candidate
+                states = [s for s in current.states() if s != current.initial]
+                shrunk = True
+                # stay at the same position: the list shifted under us
+            else:
+                i += chunk
+        if not shrunk:
+            chunk //= 2
+
+    # --- phase 2: one sweep of single-arc removals
+    for src, t in [
+        (s, t) for s in current.states() for t, _ in current.successors(s)
+    ]:
+        if evals >= max_evals:
+            break
+        # the arc (or its source) may be gone after an earlier removal
+        if src not in set(current.states()) or current.succ(src, t) is None:
+            continue
+        candidate = current.without_arc(src, t).restrict_to_reachable()
+        if check(candidate):
+            current = candidate
+
+    return current, evals
+
+
+def shrink_disagreement(d: Disagreement, max_evals: int = 200) -> Disagreement:
+    """Minimize one disagreement in place (fills ``minimized_*``).
+
+    A disagreement whose kind is not shrinkable, whose spec no longer
+    parses, or whose predicate does not reproduce on the original spec
+    is returned untouched (``minimized_text`` stays None) — the raw
+    spec is still archivable.
+    """
+    pred = disagreement_predicate(d)
+    if pred is None or not d.spec_text:
+        return d
+    try:
+        sg = parse_sg(d.spec_text)
+    except Exception:
+        return d
+    try:
+        base_labels = _label_key(sg)
+        if not pred(sg):
+            return d  # does not reproduce — leave the raw witness alone
+    except Exception:
+        return d
+
+    def keep(candidate: StateGraph) -> bool:
+        if _label_key(candidate) != base_labels:
+            return False
+        return pred(candidate)
+
+    minimized, evals = shrink_sg(sg, keep, max_evals=max_evals)
+    d.original_states = sg.num_states
+    d.minimized_states = minimized.num_states
+    d.minimized_text = write_sg(minimized, f"min_{d.kind.replace('-', '_')}")
+    d.shrink_evals = evals
+    return d

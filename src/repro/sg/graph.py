@@ -283,6 +283,38 @@ class StateGraph:
             out.set_initial(self.initial)
         return out
 
+    def subgraph(self, keep: Iterable[StateId]) -> "StateGraph":
+        """A copy containing only ``keep`` states and the arcs between
+        them; the initial state carries over when kept.  The result may
+        be unreachable or inconsistent — shrinkers deliberately produce
+        such candidates and let the classifiers reject them."""
+        keep = set(keep)
+        out = StateGraph(self.signals, [self.signals[i] for i in sorted(self.inputs)])
+        for s in self._code:
+            if s in keep:
+                out.add_state(s, self._code[s])
+        for s in keep:
+            for t, d in self._succ[s].items():
+                if d in keep:
+                    out.add_arc(s, t, d)
+        if self.initial is not None and self.initial in keep:
+            out.set_initial(self.initial)
+        return out
+
+    def without_arc(self, src: StateId, t: Transition) -> "StateGraph":
+        """A copy with one arc removed (states untouched)."""
+        out = StateGraph(self.signals, [self.signals[i] for i in sorted(self.inputs)])
+        for s, c in self._code.items():
+            out.add_state(s, c)
+        for s in self._code:
+            for tt, d in self._succ[s].items():
+                if s == src and tt == t:
+                    continue
+                out.add_arc(s, tt, d)
+        if self.initial is not None:
+            out.set_initial(self.initial)
+        return out
+
     # ------------------------------------------------------------------
     # formatting
     # ------------------------------------------------------------------

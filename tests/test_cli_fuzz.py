@@ -1,0 +1,114 @@
+"""Tests for the `repro fuzz` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--budget",
+                "4",
+                "--signals",
+                "6",
+                "--oracle-runs",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "samples" in out
+
+    def test_json_schema(self, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--seed",
+                "2",
+                "--budget",
+                "4",
+                "--signals",
+                "6",
+                "--oracle-runs",
+                "0",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-fuzz/1"
+        assert doc["summary"]["samples"] == 4
+        assert doc["summary"]["disagreements"] == 0
+        assert doc["config"]["seed"] == 2
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "fuzz.json"
+        rc = main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--budget",
+                "2",
+                "--signals",
+                "6",
+                "--oracle-runs",
+                "0",
+                "--format",
+                "json",
+                "-o",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-fuzz/1"
+        capsys.readouterr()
+
+    def test_bad_knob_mode_exits_two(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--csc", "bogus", "--budget", "2"])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+    def test_disagreement_exits_one_and_archives(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        import repro.baselines as baselines
+
+        def broken(sg, name="cg", **kw):
+            raise KeyError("injected bug")
+
+        monkeypatch.setattr(baselines, "synthesize_complex_gate", broken)
+        rc = main(
+            [
+                "fuzz",
+                "--seed",
+                "1",
+                "--budget",
+                "2",
+                "--signals",
+                "6",
+                "--oracle-runs",
+                "0",
+                "--shrink-evals",
+                "40",
+                "--archive",
+                "--corpus",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "flow-crash" in out
+        assert list(tmp_path.glob("*.g"))

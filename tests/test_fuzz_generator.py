@@ -1,0 +1,129 @@
+"""Knob-contract tests for the property-controlled spec generator.
+
+The contract: for every knob combination, every generated sample's
+ground-truth labels (computed by the *real* classifiers in
+``repro.sg``) match what the knobs requested — the generator validates
+this itself and raises :class:`GenerationError` otherwise, so these
+tests both exercise the validation and pin determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generator import (
+    GenerationError,
+    SpecKnobs,
+    classify,
+    derive_seed,
+    generate_spec,
+    knob_combinations,
+)
+from repro.sg.sgformat import write_sg
+
+ALL_COMBOS = [
+    SpecKnobs(signals=8, csc=csc, distributive=dist, single_traversal=st)
+    for csc in (True, False)
+    for dist in (True, False)
+    for st in (True, False)
+]
+
+
+@pytest.mark.parametrize(
+    "knobs", ALL_COMBOS, ids=[k.short() for k in ALL_COMBOS]
+)
+@pytest.mark.parametrize("seed", [0, 1, 17])
+def test_labels_match_knobs(knobs, seed):
+    spec = generate_spec(seed, knobs)
+    labels = spec.labels
+    # the generator's own validation ran; assert the contract explicitly
+    assert labels.consistent
+    assert labels.semimodular
+    assert labels.csc == knobs.csc
+    assert labels.distributive == knobs.distributive
+    assert labels.single_traversal == knobs.single_traversal
+    # labels are honest: recomputing from the SG gives the same answer
+    again = classify(spec.sg)
+    assert again == labels
+
+
+@pytest.mark.parametrize("knobs", ALL_COMBOS, ids=[k.short() for k in ALL_COMBOS])
+def test_deterministic(knobs):
+    a = generate_spec(42, knobs)
+    b = generate_spec(42, knobs)
+    assert write_sg(a.sg, a.name) == write_sg(b.sg, b.name)
+    assert a.labels == b.labels
+
+
+def test_different_seeds_differ():
+    knobs = SpecKnobs(signals=8)
+    texts = {
+        write_sg(generate_spec(s, knobs).sg, "x") for s in range(6)
+    }
+    assert len(texts) > 1
+
+
+def test_signal_budget_respected():
+    for signals in (4, 6, 10):
+        spec = generate_spec(3, SpecKnobs(signals=signals))
+        assert spec.labels.signals <= signals
+
+
+def test_nondistributive_has_detonant_states():
+    spec = generate_spec(9, SpecKnobs(signals=8, distributive=False))
+    assert spec.labels.detonant_count > 0
+
+
+def test_multi_traversal_adds_clock():
+    spec = generate_spec(4, SpecKnobs(signals=8, single_traversal=False))
+    assert "clk" in spec.sg.signals
+    assert not spec.labels.single_traversal
+
+
+def test_derive_seed_is_stable_and_spread():
+    assert derive_seed(0, 5) == derive_seed(0, 5)
+    assert len({derive_seed(0, i) for i in range(100)}) == 100
+
+
+class TestKnobCombinations:
+    def test_both_everywhere_gives_eight(self):
+        combos = knob_combinations(8)
+        assert len(combos) == 8
+        assert len({k.short() for k in combos}) == 8
+
+    def test_single_sided(self):
+        combos = knob_combinations(8, csc="on", distributive="off", traversal="single")
+        assert len(combos) == 1
+        k = combos[0]
+        assert k.csc and not k.distributive and k.single_traversal
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError):
+            knob_combinations(8, csc="maybe")
+        with pytest.raises(ValueError):
+            knob_combinations(8, traversal="on")
+
+
+def test_generation_error_on_label_mismatch(monkeypatch):
+    """The generator re-validates its own labels and refuses to emit a
+    sample whose classifiers disagree with the requested knobs."""
+    import dataclasses
+
+    import repro.fuzz.generator as gen
+
+    real = gen.classify
+
+    def lying_classify(sg):
+        labels = real(sg)
+        return dataclasses.replace(labels, csc=not labels.csc)
+
+    monkeypatch.setattr(gen, "classify", lying_classify)
+    with pytest.raises(GenerationError, match="label mismatch"):
+        gen.generate_spec(0, SpecKnobs(signals=6))
+
+
+def test_tiny_signal_count_clamps_to_viable_budget():
+    # 1 requested signal is below every motif's floor: the generator
+    # clamps the budget up instead of emitting an unlabelable spec
+    spec = generate_spec(0, SpecKnobs(signals=1, csc=False, distributive=False))
+    assert not spec.labels.csc and not spec.labels.distributive

@@ -1,0 +1,105 @@
+"""Tests for the delta-debugging disagreement minimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import (
+    Disagreement,
+    SpecKnobs,
+    classify,
+    generate_spec,
+    shrink_disagreement,
+    shrink_sg,
+)
+from repro.fuzz.shrink import disagreement_predicate
+from repro.sg.sgformat import parse_sg, write_sg
+
+
+def _refusal_disagreement(seed=5, signals=8) -> Disagreement:
+    """A reproducible disagreement: frame nshot's (correct) refusal of a
+    non-CSC spec as 'unexpected' so the shrinker has a live predicate."""
+    spec = generate_spec(seed, SpecKnobs(signals=signals, csc=False))
+    return Disagreement(
+        kind="unexpected-refusal",
+        flow="nshot",
+        seed=seed,
+        knobs=spec.knobs,
+        detail="SynthesisError: preflight",
+        spec_text=write_sg(spec.sg, spec.name),
+        labels=spec.labels.to_json(),
+        original_states=spec.labels.states,
+    )
+
+
+class TestShrinkSg:
+    def test_respects_eval_budget(self):
+        sg = generate_spec(3, SpecKnobs(signals=8)).sg
+        calls = []
+
+        def keep(candidate):
+            calls.append(1)
+            return True
+
+        _, evals = shrink_sg(sg, keep, max_evals=7)
+        assert evals <= 7
+        assert len(calls) <= 7
+
+    def test_never_grows(self):
+        sg = generate_spec(3, SpecKnobs(signals=8)).sg
+        minimized, _ = shrink_sg(sg, lambda c: True, max_evals=100)
+        assert minimized.num_states <= sg.num_states
+        assert minimized.initial is not None
+
+    def test_keeps_predicate_true_on_result(self):
+        sg = generate_spec(7, SpecKnobs(signals=8, csc=False)).sg
+        base = classify(sg)
+
+        def keep(candidate):
+            return not classify(candidate).csc
+
+        minimized, _ = shrink_sg(sg, keep, max_evals=150)
+        assert not classify(minimized).csc
+        assert minimized.num_states < sg.num_states
+        assert not base.csc
+
+
+class TestShrinkDisagreement:
+    def test_minimizes_and_still_disagrees(self):
+        d = _refusal_disagreement()
+        shrink_disagreement(d, max_evals=200)
+        assert d.minimized_text is not None
+        assert 1 <= d.minimized_states <= d.original_states
+        # the minimized spec still triggers the recorded predicate
+        pred = disagreement_predicate(d)
+        assert pred(parse_sg(d.minimized_text))
+        # and the judged labels were preserved (still a non-CSC spec)
+        assert not classify(parse_sg(d.minimized_text)).csc
+
+    def test_deterministic(self):
+        a = _refusal_disagreement()
+        b = _refusal_disagreement()
+        shrink_disagreement(a, max_evals=200)
+        shrink_disagreement(b, max_evals=200)
+        assert a.minimized_text == b.minimized_text
+        assert a.shrink_evals == b.shrink_evals
+
+    def test_unshrinkable_kinds_left_alone(self):
+        d = _refusal_disagreement()
+        d.kind = "flow-timeout"
+        shrink_disagreement(d)
+        assert d.minimized_text is None
+
+    def test_non_reproducing_left_alone(self):
+        # a 'crash' that never happens: predicate fails on the original
+        d = _refusal_disagreement()
+        d.kind = "flow-crash"
+        d.detail = "KeyError: nope"
+        shrink_disagreement(d, max_evals=50)
+        assert d.minimized_text is None
+
+    def test_unparsable_spec_left_alone(self):
+        d = _refusal_disagreement()
+        d.spec_text = "garbage"
+        shrink_disagreement(d)
+        assert d.minimized_text is None
