@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
     from ..core.sop_derivation import SopSpec
     from ..core.synthesizer import NShotCircuit
     from ..logic.cover import Cover
+    from ..pipeline.dag import PipelineRun
 
 __all__ = ["LintContext"]
 
@@ -45,6 +46,11 @@ class LintContext:
     cover:
         Optional pre-minimized cover (tests seed fragmented covers
         here); when None the context minimizes on demand.
+    pipeline:
+        Optional content-addressed :class:`~repro.pipeline.dag.PipelineRun`
+        (constructed with matching knobs); when given, the lazy
+        derivations pull stage artifacts through it so a warm cache
+        serves lint without re-minimizing or re-mapping anything.
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class LintContext:
         mhs_tau: float = 1.2,
         cover: "Cover | None" = None,
         fanout_limit: int = 32,
+        pipeline: "PipelineRun | None" = None,
     ) -> None:
         if sg is None and netlist is None:
             raise ValueError("LintContext needs a state graph or a netlist")
@@ -69,6 +76,7 @@ class LintContext:
         self.method = method
         self.mhs_tau = mhs_tau
         self.fanout_limit = fanout_limit
+        self.pipeline = pipeline
         self._netlist = netlist
         self._spec: "SopSpec | None" = None
         self._cover: "Cover | None" = cover
@@ -85,18 +93,27 @@ class LintContext:
     def require_spec(self) -> "SopSpec":
         """The derived multi-output (F, D, R) problem (Section IV-A)."""
         if self._spec is None:
-            from ..core.sop_derivation import derive_sop_spec
+            if self.pipeline is not None:
+                self._spec = self.pipeline.sop()
+            else:
+                from ..core.sop_derivation import derive_sop_spec
 
-            self._spec = derive_sop_spec(self.require_sg())
+                self._spec = derive_sop_spec(self.require_sg())
         return self._spec
 
     def require_cover(self) -> "Cover":
         """A minimized cover for the spec (unconstrained by hazards)."""
         if self._cover is None:
-            from ..logic import minimize
+            if self.pipeline is not None:
+                # the raw minimizer output, before Theorem 1 enforcement
+                self._cover = self.pipeline.covers().minimized
+            else:
+                from ..logic import minimize
 
-            spec = self.require_spec()
-            self._cover = minimize(spec.on, spec.dc, spec.off, method=self.method)
+                spec = self.require_spec()
+                self._cover = minimize(
+                    spec.on, spec.dc, spec.off, method=self.method
+                )
         return self._cover
 
     def require_circuit(self) -> "NShotCircuit":
@@ -104,16 +121,19 @@ class LintContext:
         the engine has already run the pre-flight rules by the time a
         netlist-scope rule asks for this)."""
         if self._circuit is None:
-            from ..core.synthesizer import synthesize
+            if self.pipeline is not None:
+                self._circuit = self.pipeline.circuit()
+            else:
+                from ..core.synthesizer import synthesize
 
-            self._circuit = synthesize(
-                self.require_sg(),
-                name=self.name,
-                method=self.method,
-                mhs_tau=self.mhs_tau,
-                delay_spread=self.spread,
-                validate=False,
-            )
+                self._circuit = synthesize(
+                    self.require_sg(),
+                    name=self.name,
+                    method=self.method,
+                    mhs_tau=self.mhs_tau,
+                    delay_spread=self.spread,
+                    validate=False,
+                )
         return self._circuit
 
     def require_netlist(self) -> Netlist:

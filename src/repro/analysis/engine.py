@@ -15,6 +15,7 @@ an ``ENGINE`` internal-error diagnostic and maps to exit code 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..netlist.netlist import Netlist
 from ..obs import get_metrics, trace_span
@@ -22,6 +23,9 @@ from ..sg.graph import StateGraph
 from .context import LintContext
 from .diagnostics import Diagnostic, Location, Severity
 from .registry import Rule, RuleRegistry, Scope, default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from ..pipeline.dag import PipelineRun
 
 __all__ = ["AnalysisResult", "run_rules", "analyze", "run_preflight"]
 
@@ -204,6 +208,7 @@ def analyze(
     ignore: set[str] | None = None,
     registry: RuleRegistry | None = None,
     fanout_limit: int = 32,
+    pipeline: PipelineRun | None = None,
 ) -> AnalysisResult:
     """Convenience wrapper: build a context and run every rule."""
     ctx = LintContext(
@@ -214,6 +219,7 @@ def analyze(
         spread=spread,
         method=method,
         fanout_limit=fanout_limit,
+        pipeline=pipeline,
     )
     return run_rules(ctx, registry, select=select, ignore=ignore)
 

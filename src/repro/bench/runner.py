@@ -55,8 +55,16 @@ def sg_of(name: str) -> StateGraph:
     return sg
 
 
-def run_benchmark(name: str, run_baselines: bool = True) -> BenchmarkRow:
-    """Run all flows on one benchmark and return its table row."""
+def run_benchmark(
+    name: str, run_baselines: bool = True, cache=None
+) -> BenchmarkRow:
+    """Run all flows on one benchmark and return its table row.
+
+    ``cache`` (an :class:`~repro.pipeline.store.ArtifactStore`) routes
+    the N-SHOT flow through the content-addressed pipeline so repeated
+    Table 2 regenerations reuse stage artifacts; the baselines are not
+    cached (they are comparison points, not the product).
+    """
     t0 = time.time()
     if name in DISTRIBUTIVE_BENCHMARKS:
         _, paper_states, (p_sis, p_syn, p_ours) = DISTRIBUTIVE_BENCHMARKS[name]
@@ -84,7 +92,7 @@ def run_benchmark(name: str, run_baselines: bool = True) -> BenchmarkRow:
         except StateSignalsRequiredError:
             syn_cell = "(2)"
 
-    ours = synthesize(sg, name=name)
+    ours = synthesize(sg, name=name, cache=cache)
     row = BenchmarkRow(
         name=name,
         states=sg.num_states,
@@ -103,9 +111,14 @@ def run_benchmark(name: str, run_baselines: bool = True) -> BenchmarkRow:
 
 
 def run_table2(
-    names: list[str] | None = None, run_baselines: bool = True
+    names: list[str] | None = None,
+    run_baselines: bool = True,
+    cache=None,
 ) -> list[BenchmarkRow]:
     """Regenerate Table 2 (both parts, or a subset of rows)."""
     if names is None:
         names = list(DISTRIBUTIVE_BENCHMARKS) + list(NONDISTRIBUTIVE_BENCHMARKS)
-    return [run_benchmark(n, run_baselines=run_baselines) for n in names]
+    return [
+        run_benchmark(n, run_baselines=run_baselines, cache=cache)
+        for n in names
+    ]

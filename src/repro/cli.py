@@ -59,6 +59,29 @@ def _load_sg(path: str):
     return stg, elaborate(stg)
 
 
+def _store_from(args: argparse.Namespace):
+    """Resolve the artifact store of the ``--cache-dir``/``--no-cache``
+    flags (``REPRO_CACHE_DIR`` is the flagless default)."""
+    from .pipeline import resolve_store
+
+    return resolve_store(
+        getattr(args, "cache_dir", None), getattr(args, "no_cache", False)
+    )
+
+
+def _pipeline_run(args: argparse.Namespace, path: str):
+    """A content-addressed :class:`~repro.pipeline.dag.PipelineRun` over
+    one spec file, carrying the command's synthesis knobs."""
+    from .pipeline import PipelineRun
+
+    return PipelineRun.from_file(
+        path,
+        store=_store_from(args),
+        method=getattr(args, "method", "espresso"),
+        delay_spread=getattr(args, "spread", 0.0),
+    )
+
+
 class _SgSpec:
     """Adapter so .sg files share the STG code paths in the CLI."""
 
@@ -117,27 +140,28 @@ def _with_profile(args: argparse.Namespace, body) -> int:
     return code
 
 
-def _lint_gate(args: argparse.Namespace, name: str, sg) -> int:
+def _lint_gate(args: argparse.Namespace, run) -> int:
     """Pre-flight lint gate for synth/compare (``--lint``, the default).
 
     Returns 0 to proceed; on error-severity findings prints the
     diagnostic list — rule ids, locations, hints — instead of letting
     :class:`SynthesisError` escape as a raw exception, and returns 1.
+    The verdict is the pipeline's ``classify`` stage artifact, so a
+    warm cache answers without re-running the Theorem-2 rules.
     """
     if not args.lint:
         return 0
-    from .analysis import run_preflight
-
-    report = run_preflight(sg, name=name)
-    if report.ok:
+    cls = run.classification()
+    if cls.ok:
         return 0
+    errors = sum(1 for d in cls.diagnostics if d.severity.value == "error")
     print(
-        f"error: {name} fails the Theorem 2 preconditions "
-        f"({report.errors} finding(s)):",
+        f"error: {run.name} fails the Theorem 2 preconditions "
+        f"({errors} finding(s)):",
         file=sys.stderr,
     )
     for d in sorted(
-        report.diagnostics, key=lambda d: (-d.severity.rank, d.rule_id)
+        cls.diagnostics, key=lambda d: (-d.severity.rank, d.rule_id)
     ):
         print("  " + d.render(), file=sys.stderr)
     print(
@@ -153,17 +177,12 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _synth_body(args: argparse.Namespace) -> int:
-    stg, sg = _load_sg(args.file)
-    if _lint_gate(args, stg.name, sg):
+    run = _pipeline_run(args, args.file)
+    sg = run.sg()
+    if _lint_gate(args, run):
         return 1
     # the gate already ran the preflight rules (or the user opted out)
-    circuit = synthesize(
-        sg,
-        name=stg.name,
-        method=args.method,
-        delay_spread=args.spread,
-        validate=False,
-    )
+    circuit = run.circuit()
     print(circuit.describe())
     if args.pla:
         spec = circuit.spec
@@ -235,8 +254,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _compare_body(args: argparse.Namespace) -> int:
-    stg, sg = _load_sg(args.file)
-    if _lint_gate(args, stg.name, sg):
+    # one PipelineRun serves every flow: the spec is parsed and the SG
+    # built exactly once (one `pipeline.stage` span for sg-build),
+    # where each flow used to re-derive it
+    run = _pipeline_run(args, args.file)
+    sg = run.sg()
+    if _lint_gate(args, run):
         return 1
     rows = []
     for label, flow in (
@@ -251,7 +274,7 @@ def _compare_body(args: argparse.Namespace) -> int:
         except StateSignalsRequiredError:
             rows.append((label, "(2) state signals required"))
     # preflight already ran in the lint gate (or the user opted out)
-    nshot = synthesize(sg, name=stg.name, validate=False)
+    nshot = run.circuit()
     rows.append(("N-SHOT", nshot.stats().row()))
     width = max(len(r[0]) for r in rows)
     for label, cell in rows:
@@ -334,15 +357,39 @@ def _lint_body(args: argparse.Namespace) -> int:
         )
         return 2
 
+    store = _store_from(args)
     results = []
     for name, source in targets:
+        pipeline = None
         try:
             if source is not None:
-                sg = _load_sg(source)[1]
+                if store is not None:
+                    from .pipeline import PipelineRun
+
+                    pipeline = PipelineRun.from_file(
+                        source,
+                        name=name,
+                        store=store,
+                        method=args.method,
+                        delay_spread=args.spread,
+                    )
+                    sg = pipeline.sg()
+                else:
+                    sg = _load_sg(source)[1]
             else:
                 from .bench import sg_of
 
                 sg = sg_of(name)
+                if store is not None:
+                    from .pipeline import PipelineRun
+
+                    pipeline = PipelineRun.from_sg(
+                        sg,
+                        name=name,
+                        store=store,
+                        method=args.method,
+                        delay_spread=args.spread,
+                    )
         except FileNotFoundError:
             raise
         except Exception as exc:
@@ -362,6 +409,7 @@ def _lint_body(args: argparse.Namespace) -> int:
                 method=args.method,
                 select=select,
                 ignore=ignore,
+                pipeline=pipeline,
             )
         )
 
@@ -401,7 +449,7 @@ def _lint_body(args: argparse.Namespace) -> int:
 def cmd_table2(args: argparse.Namespace) -> int:
     from .bench import run_table2
 
-    rows = run_table2(args.circuits or None)
+    rows = run_table2(args.circuits or None, cache=_store_from(args))
     print(format_results_table([r.cells() for r in rows]))
     comp = [r.name for r in rows if r.compensation_required]
     print()
@@ -599,6 +647,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    store = _store_from(args)
     try:
         doc = run_bench(
             circuits=args.circuits or None,
@@ -607,6 +656,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             chrome_trace=args.chrome_trace,
             telemetry=args.telemetry,
             progress=progress,
+            store=store,
         )
     except KeyError as e:
         print(f"error: unknown benchmark circuit {e.args[0]!r}", file=sys.stderr)
@@ -624,6 +674,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"wrote {path}: {doc['totals']['circuits']} circuits in "
         f"{doc['totals']['wall_s']:.1f}s ({doc['schema']})"
     )
+    if "cache" in doc:
+        c = doc["cache"]
+        print(
+            f"cache: {c['hits']} hit(s), {c['misses']} miss(es) "
+            f"({c['hit_rate']:.0%} hit rate) in {c['dir']}"
+        )
     if args.history:
         from .obs.registry import RunHistory
 
@@ -686,6 +742,74 @@ def cmd_regress(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .pipeline import ArtifactStore, parse_age, parse_size
+
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        print(
+            "error: no cache directory (pass --cache-dir or set "
+            "REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    store = ArtifactStore(root)
+
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json_mod.dumps(stats, indent=2))
+            return 0
+        print(f"cache {stats['root']}")
+        print(f"  entries: {stats['entries']} ({stats['bytes']} bytes)")
+        for stage, agg in sorted(stats["by_stage"].items()):
+            print(f"    {stage:<14} {agg['count']:>4} entr(ies)  {agg['bytes']:>8}B")
+        if stats["quarantine_files"]:
+            print(f"  quarantined files: {stats['quarantine_files']}")
+        if stats["entries"]:
+            print(f"  age span: {stats['age_span_s']:.0f}s")
+        return 0
+
+    if args.cache_command == "ls":
+        count = 0
+        for entry in sorted(store.entries(), key=lambda e: e.mtime):
+            print(entry.describe())
+            count += 1
+        if count == 0:
+            print("(empty)")
+        return 0
+
+    if args.cache_command == "gc":
+        max_bytes = parse_size(args.max_bytes) if args.max_bytes else None
+        max_age_s = parse_age(args.max_age) if args.max_age else None
+        if max_bytes is None and max_age_s is None:
+            print(
+                "error: gc needs --max-bytes and/or --max-age",
+                file=sys.stderr,
+            )
+            return 2
+        report = store.gc(max_bytes=max_bytes, max_age_s=max_age_s)
+        if args.json:
+            print(json_mod.dumps(report.to_json(), indent=2))
+        else:
+            print(
+                f"gc: evicted {report.evicted} entr(ies) "
+                f"({report.evicted_bytes} bytes), kept {report.kept} "
+                f"({report.kept_bytes} bytes)"
+            )
+        return 0
+
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entr(ies) from {store.root}")
+        return 0
+
+    print("error: unknown cache command", file=sys.stderr)  # pragma: no cover
+    return 2  # pragma: no cover
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -733,6 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(--no-lint skips the gate)",
     )
     _add_coverage_args(p_synth)
+    _add_cache_args(p_synth)
     p_synth.set_defaults(func=cmd_synth)
 
     p_cmp = sub.add_parser("compare", help="run every flow on one STG")
@@ -755,6 +880,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(--no-lint skips the gate)",
     )
     _add_coverage_args(p_cmp)
+    _add_cache_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_lint = sub.add_parser(
@@ -815,10 +941,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-phase span tree (timings + metrics) to stderr",
     )
+    _add_cache_args(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2")
     p_t2.add_argument("circuits", nargs="*", help="subset of benchmark names")
+    _add_cache_args(p_t2)
     p_t2.set_defaults(func=cmd_table2)
 
     p_f = sub.add_parser(
@@ -1028,6 +1156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep (--no-telemetry to skip)",
     )
     _add_history_args(p_b)
+    _add_cache_args(p_b)
     p_b.set_defaults(func=cmd_bench)
 
     p_r = sub.add_parser(
@@ -1090,7 +1219,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_history_args(p_r)
     p_r.set_defaults(func=cmd_regress)
+
+    p_c = sub.add_parser(
+        "cache", help="inspect and maintain the pipeline artifact cache"
+    )
+    p_c.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache_sub = p_c.add_subparsers(dest="cache_command", required=True)
+    p_cs = cache_sub.add_parser("stats", help="entry/byte totals per stage")
+    p_cs.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    cache_sub.add_parser("ls", help="list entries, oldest first")
+    p_cg = cache_sub.add_parser(
+        "gc", help="evict expired entries, then oldest-first to a size bound"
+    )
+    p_cg.add_argument(
+        "--max-bytes",
+        metavar="SIZE",
+        help="size bound after collection (e.g. 500M, 2G, plain bytes)",
+    )
+    p_cg.add_argument(
+        "--max-age",
+        metavar="AGE",
+        help="evict entries older than this (e.g. 7d, 12h, plain seconds)",
+    )
+    p_cg.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    cache_sub.add_parser("clear", help="remove every entry")
+    p_c.set_defaults(func=cmd_cache)
     return parser
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed artifact cache directory "
+        "(default: $REPRO_CACHE_DIR when set, else no cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run hermetically, ignoring --cache-dir and REPRO_CACHE_DIR",
+    )
 
 
 def _add_coverage_args(p: argparse.ArgumentParser) -> None:

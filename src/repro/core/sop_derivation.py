@@ -79,11 +79,15 @@ class SopSpec:
         return f"{kind}_{self.sg.signals[signal]}"
 
 
-def derive_sop_spec(sg: StateGraph) -> SopSpec:
+def derive_sop_spec(
+    sg: StateGraph, regions: dict[int, SignalRegions] | None = None
+) -> SopSpec:
     """Build the multi-output (F, D, R) problem for a whole SG.
 
     Follows Section IV-A exactly; the unreachable binary codes join
-    every function's don't-care set (step 3).
+    every function's don't-care set (step 3).  ``regions`` may supply
+    precomputed per-signal region decompositions (the pipeline's
+    ``regions`` stage artifact); missing signals are derived here.
     """
     non_inputs = sg.non_inputs
     m = 2 * len(non_inputs)
@@ -95,17 +99,22 @@ def derive_sop_spec(sg: StateGraph) -> SopSpec:
 
     with trace_span("sop-derivation", signals=len(non_inputs), outputs=m) as _sp:
         unreachable = unreachable_cover(sg)
-        _derive_functions(sg, spec, unreachable)
+        _derive_functions(sg, spec, unreachable, regions or {})
         _sp.set(on_cubes=len(on), dc_cubes=len(dc), off_cubes=len(off))
     return spec
 
 
-def _derive_functions(sg: StateGraph, spec: SopSpec, unreachable: Cover) -> None:
+def _derive_functions(
+    sg: StateGraph,
+    spec: SopSpec,
+    unreachable: Cover,
+    regions: dict[int, SignalRegions],
+) -> None:
     non_inputs = sg.non_inputs
     n = sg.num_signals
     on, dc, off = spec.on, spec.dc, spec.off
     for signal in non_inputs:
-        sr = signal_regions(sg, signal)
+        sr = regions.get(signal) or signal_regions(sg, signal)
         spec.regions[signal] = sr
         up_er = sr.union_states("ER", 1)
         up_qr = sr.union_states("QR", 1)

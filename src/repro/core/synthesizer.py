@@ -34,8 +34,18 @@ from .trigger import check_trigger_cubes, enforce_trigger_cubes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.diagnostics import Diagnostic
+    from ..pipeline.store import ArtifactStore
 
-__all__ = ["NShotCircuit", "SynthesisError", "synthesize"]
+__all__ = [
+    "NShotCircuit",
+    "SynthesisError",
+    "apply_trigger_requirement",
+    "build_architecture",
+    "finalize_circuit",
+    "minimize_cover",
+    "preflight_or_raise",
+    "synthesize",
+]
 
 
 class SynthesisError(ValueError):
@@ -98,6 +108,140 @@ class NShotCircuit:
         return "\n".join(lines)
 
 
+def preflight_or_raise(sg: StateGraph, name: str = "nshot") -> None:
+    """Run the Theorem-2 precondition rules; raise :class:`SynthesisError`
+    carrying the engine's structured diagnostics on any violation."""
+    with trace_span("validate"):
+        preflight = run_preflight(sg, name=name)
+    if not preflight.ok:
+        detail = "; ".join(
+            f"[{rid}] {len(ds)} finding(s), e.g. {ds[0].message}"
+            for rid, ds in preflight.by_rule().items()
+        )
+        raise SynthesisError(
+            f"SG fails the Theorem 2 preconditions: {detail}",
+            diagnostics=preflight.diagnostics,
+        )
+
+
+def minimize_cover(
+    spec: SopSpec,
+    method: str = "espresso",
+    share_products: bool = True,
+    name: str = "nshot",
+) -> Cover:
+    """Step 3: unconstrained two-level minimization of (F, D, R), plus
+    the soundness audit of the result."""
+    if share_products:
+        cover = minimize(spec.on, spec.dc, spec.off, method=method)
+    else:
+        # per-function minimization: no multi-output term sharing
+        cover = Cover.empty(spec.sg.num_signals, spec.num_outputs)
+        for o in range(spec.num_outputs):
+            sub = minimize(
+                spec.on.projection(o),
+                spec.dc.projection(o),
+                spec.off.projection(o),
+                method=method,
+            )
+            for c in sub.cubes:
+                cover.add(c.with_outputs(1 << o))
+    with trace_span("cover-audit"):
+        check = verify_cover(cover, spec.on, spec.dc, spec.off)
+    if not check.ok:
+        raise SynthesisError(
+            f"minimizer produced an unsound cover for {name}: {check}"
+        )
+    return cover
+
+
+def apply_trigger_requirement(
+    sg: StateGraph, spec: SopSpec, cover: Cover
+) -> tuple[Cover, bool, int]:
+    """Step 4 (Theorem 1): returns ``(cover, single_traversal, added)``."""
+    with trace_span("trigger-enforcement") as sp_t:
+        single = is_single_traversal(sg)
+        added = 0
+        if not single:
+            cover, added = enforce_trigger_cubes(spec, cover)
+        else:
+            # Corollary 1: nothing to do, but assert it for defence in depth
+            audits = check_trigger_cubes(spec, cover)
+            bad = [a for a in audits if not a.ok]
+            if bad:  # pragma: no cover - Corollary 1 guarantees this branch is dead
+                raise SynthesisError("single-traversal SG failed trigger audit")
+        sp_t.set(single_traversal=single, cubes_added=added)
+    return cover, single, added
+
+
+def build_architecture(
+    spec: SopSpec, cover: Cover, name: str = "nshot"
+) -> ArchitectureResult:
+    """First-pass N-SHOT netlist (Figure 3), before Equation (1)."""
+    with trace_span("netlist-build"):
+        return build_nshot_netlist(spec, cover, name=name)
+
+
+def finalize_circuit(
+    sg: StateGraph,
+    spec: SopSpec,
+    cover: Cover,
+    arch: ArchitectureResult,
+    *,
+    name: str = "nshot",
+    method: str = "espresso",
+    library: Library = DEFAULT_LIBRARY,
+    mhs_tau: float = 1.2,
+    delay_spread: float = 0.0,
+    single_traversal: bool = True,
+    trigger_cubes_added: int = 0,
+) -> NShotCircuit:
+    """Steps 5–6: evaluate Equation (1) per signal, analyze flip-flop
+    initialization, rebuild the netlist if compensation is required,
+    and assemble the :class:`NShotCircuit`."""
+    with trace_span("delay-eval", spread=delay_spread) as sp_d:
+        reqs: dict[int, DelayRequirement] = {}
+        for a in sg.non_inputs:
+            reqs[a] = compute_delay_requirement(
+                sg.signals[a],
+                arch.set_timing[a],
+                arch.reset_timing[a],
+                library=library,
+                mhs_tau=mhs_tau,
+                spread=delay_spread,
+            )
+        sp_d.set(
+            compensated=sum(1 for r in reqs.values() if r.compensation_required)
+        )
+    with trace_span("initialization"):
+        init = analyze_initialization(spec, cover)
+    if any(r.compensation_required for r in reqs.values()):
+        with trace_span("netlist-build", rebuild=True):
+            arch = build_nshot_netlist(
+                spec,
+                cover,
+                delay_requirements=reqs,
+                init_values={a: d.initial_value for a, d in init.items()},
+                name=name,
+            )
+    problems = arch.netlist.validate()
+    if problems:  # pragma: no cover - structural invariant of the builder
+        raise SynthesisError(f"malformed netlist for {name}: {problems[:3]}")
+    return NShotCircuit(
+        sg=sg,
+        spec=spec,
+        cover=cover,
+        netlist=arch.netlist,
+        architecture=arch,
+        delay_requirements=reqs,
+        initialization=init,
+        single_traversal=single_traversal,
+        trigger_cubes_added=trigger_cubes_added,
+        method=method,
+        designed_spread=delay_spread,
+    )
+
+
 def synthesize(
     sg: StateGraph,
     name: str = "nshot",
@@ -107,6 +251,7 @@ def synthesize(
     delay_spread: float = 0.0,
     share_products: bool = True,
     validate: bool = True,
+    cache: "ArtifactStore | None" = None,
 ) -> NShotCircuit:
     """Synthesize an SG into an externally hazard-free N-SHOT circuit.
 
@@ -126,6 +271,11 @@ def synthesize(
         functions are minimized together as one multi-output problem so
         AND gates can be shared between functions; False minimizes each
         function separately (the ablation knob).
+    cache:
+        An optional :class:`~repro.pipeline.store.ArtifactStore`; when
+        given, the flow is pulled through the content-addressed
+        pipeline DAG so previously computed stage artifacts are reused.
+        ``None`` (the default) runs the hermetic in-process flow.
 
     Raises
     ------
@@ -134,104 +284,51 @@ def synthesize(
     TriggerRequirementError
         When a non-single-traversal SG cannot satisfy Theorem 1.
     """
+    if cache is not None:
+        from ..pipeline import PipelineRun
+
+        run = PipelineRun.from_sg(
+            sg,
+            name=name,
+            store=cache,
+            method=method,
+            library=library,
+            mhs_tau=mhs_tau,
+            delay_spread=delay_spread,
+            share_products=share_products,
+        )
+        return run.synthesize(validate=validate)
+
     with trace_span("synthesize", circuit=name, method=method) as sp:
         if validate:
             # pre-flight: the Theorem-2 precondition rules of the
             # static-analysis engine (consistency, CSC, semi-modularity)
             # — the same registry `repro lint` runs
-            with trace_span("validate"):
-                preflight = run_preflight(sg, name=name)
-            if not preflight.ok:
-                detail = "; ".join(
-                    f"[{rid}] {len(ds)} finding(s), e.g. {ds[0].message}"
-                    for rid, ds in preflight.by_rule().items()
-                )
-                raise SynthesisError(
-                    f"SG fails the Theorem 2 preconditions: {detail}",
-                    diagnostics=preflight.diagnostics,
-                )
+            preflight_or_raise(sg, name=name)
 
         spec = derive_sop_spec(sg)
-        if share_products:
-            cover = minimize(spec.on, spec.dc, spec.off, method=method)
-        else:
-            # per-function minimization: no multi-output term sharing
-            from ..logic import Cover
-
-            cover = Cover.empty(sg.num_signals, spec.num_outputs)
-            for o in range(spec.num_outputs):
-                sub = minimize(
-                    spec.on.projection(o),
-                    spec.dc.projection(o),
-                    spec.off.projection(o),
-                    method=method,
-                )
-                for c in sub.cubes:
-                    cover.add(c.with_outputs(1 << o))
-        with trace_span("cover-audit"):
-            check = verify_cover(cover, spec.on, spec.dc, spec.off)
-        if not check.ok:
-            raise SynthesisError(
-                f"minimizer produced an unsound cover for {name}: {check}"
-            )
-
-        with trace_span("trigger-enforcement") as sp_t:
-            single = is_single_traversal(sg)
-            added = 0
-            if not single:
-                cover, added = enforce_trigger_cubes(spec, cover)
-            else:
-                # Corollary 1: nothing to do, but assert it for defence in depth
-                audits = check_trigger_cubes(spec, cover)
-                bad = [a for a in audits if not a.ok]
-                if bad:  # pragma: no cover - Corollary 1 guarantees this branch is dead
-                    raise SynthesisError("single-traversal SG failed trigger audit")
-            sp_t.set(single_traversal=single, cubes_added=added)
-
+        cover = minimize_cover(
+            spec, method=method, share_products=share_products, name=name
+        )
+        cover, single, added = apply_trigger_requirement(sg, spec, cover)
         # first pass netlist to get plane structure, then Equation (1)
-        with trace_span("netlist-build"):
-            arch = build_nshot_netlist(spec, cover, name=name)
-        with trace_span("delay-eval", spread=delay_spread) as sp_d:
-            reqs: dict[int, DelayRequirement] = {}
-            for a in sg.non_inputs:
-                reqs[a] = compute_delay_requirement(
-                    sg.signals[a],
-                    arch.set_timing[a],
-                    arch.reset_timing[a],
-                    library=library,
-                    mhs_tau=mhs_tau,
-                    spread=delay_spread,
-                )
-            sp_d.set(
-                compensated=sum(
-                    1 for r in reqs.values() if r.compensation_required
-                )
-            )
-        with trace_span("initialization"):
-            init = analyze_initialization(spec, cover)
-        if any(r.compensation_required for r in reqs.values()):
-            with trace_span("netlist-build", rebuild=True):
-                arch = build_nshot_netlist(
-                    spec,
-                    cover,
-                    delay_requirements=reqs,
-                    init_values={a: d.initial_value for a, d in init.items()},
-                    name=name,
-                )
-        problems = arch.netlist.validate()
-        if problems:  # pragma: no cover - structural invariant of the builder
-            raise SynthesisError(f"malformed netlist for {name}: {problems[:3]}")
-        sp.set(states=sg.num_states, cubes=len(cover), gates=len(arch.netlist.gates))
-    return NShotCircuit(
-        sg=sg,
-        spec=spec,
-        cover=cover,
-        netlist=arch.netlist,
-        architecture=arch,
-        delay_requirements=reqs,
-        initialization=init,
-        single_traversal=single,
-        trigger_cubes_added=added,
-        method=method,
-        designed_spread=delay_spread,
-    )
+        arch = build_architecture(spec, cover, name=name)
+        circuit = finalize_circuit(
+            sg,
+            spec,
+            cover,
+            arch,
+            name=name,
+            method=method,
+            library=library,
+            mhs_tau=mhs_tau,
+            delay_spread=delay_spread,
+            single_traversal=single,
+            trigger_cubes_added=added,
+        )
+        sp.set(
+            states=sg.num_states,
+            cubes=len(circuit.cover),
+            gates=len(circuit.netlist.gates),
+        )
+    return circuit

@@ -252,12 +252,18 @@ def run_flow(
     :class:`~repro.core.synthesizer.SynthesisError` — the contract the
     baselines satellite establishes; any other exception type is a
     ``crashed`` finding by definition.
+
+    The whole flow runs under :func:`repro.pipeline.cache_bypass`: a
+    crash-contained computation — one that a watchdog may kill halfway
+    — must never publish stage artifacts into a shared pipeline cache,
+    so a crashed outcome can never be replayed as cached truth.
     """
     from ..core.synthesizer import SynthesisError
+    from ..pipeline import cache_bypass
 
     t0 = _time.perf_counter()
     try:
-        with wall_clock_guard(timeout):
+        with cache_bypass(), wall_clock_guard(timeout):
             result = _dispatch(flow, sg, name)
         stats = result.netlist.stats()
         return FlowOutcome(

@@ -111,6 +111,7 @@ def bench_circuit(
     verify_transitions: int = 40,
     seed: int = 0,
     telemetry: bool = False,
+    store=None,
 ) -> tuple[dict, Tracer]:
     """Measure one circuit ``runs`` times end to end.
 
@@ -125,6 +126,11 @@ def bench_circuit(
     coverage the verification sweep achieved — collected on one extra
     *untimed* verification sweep so the probes' watcher overhead never
     contaminates the wall-clock numbers.
+
+    With ``store`` (a :class:`~repro.pipeline.store.ArtifactStore`) the
+    synthesize+verify chain is pulled through the content-addressed
+    pipeline DAG and the entry gains a ``cache`` block with per-stage
+    hit/miss counts, so warm and cold documents are distinguishable.
     """
     from ..bench.runner import sg_of
     from ..core import synthesize, verify_hazard_freeness
@@ -133,6 +139,9 @@ def bench_circuit(
     phase_calls: dict[str, int] = {}
     totals: list[float] = []
     metrics_doc: dict[str, int] = {}
+    cache_hits = 0
+    cache_misses = 0
+    cache_stages: dict[str, dict[str, int]] = {}
     states = 0
     tracer = Tracer()
     prev_metrics = get_metrics()
@@ -143,16 +152,34 @@ def bench_circuit(
         try:
             with tracing(tracer), tracer.span("bench-run", circuit=name, run=k):
                 sg = sg_of(name)
-                circuit = synthesize(sg, name=name)
-                verify_hazard_freeness(
-                    circuit,
-                    runs=verify_runs,
-                    max_transitions=verify_transitions,
-                    base_seed=seed,
-                )
+                if store is None:
+                    circuit = synthesize(sg, name=name)
+                    verify_hazard_freeness(
+                        circuit,
+                        runs=verify_runs,
+                        max_transitions=verify_transitions,
+                        base_seed=seed,
+                    )
+                else:
+                    from ..pipeline import PipelineRun
+
+                    prun = PipelineRun.from_sg(sg, name=name, store=store)
+                    circuit = prun.synthesize()
+                    prun.verify(
+                        runs=verify_runs,
+                        max_transitions=verify_transitions,
+                        base_seed=seed,
+                    )
         finally:
             set_metrics(prev_metrics)
         totals.append(time.perf_counter() - t0)
+        if store is not None:
+            rep = prun.report()
+            cache_hits += rep["hits"]
+            cache_misses += rep["misses"]
+            for stage, outcome in rep["stages"].items():
+                tally = cache_stages.setdefault(stage, {"hit": 0, "miss": 0})
+                tally[outcome] += 1
         states = sg.num_states
         for phase, agg in tracer.phase_totals().items():
             phase_runs.setdefault(phase, []).append(agg["total_s"])
@@ -181,27 +208,74 @@ def bench_circuit(
             "p90_s": round(percentile(totals, 0.9), 6),
         },
     }
+    if store is not None:
+        entry["cache"] = {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "stages": cache_stages,
+        }
     if telemetry:
-        from ..core import verify_hazard_freeness as _verify
-        from .coverage import CoverageMap
-        from .telemetry import HazardTelemetry
-
-        tele = HazardTelemetry.for_circuit(circuit)
-        cov = CoverageMap.for_circuit(circuit)
-        set_metrics(MetricsRegistry())  # keep probe runs out of caller metrics
-        try:
-            _verify(
-                circuit,
-                runs=verify_runs,
-                max_transitions=verify_transitions,
-                base_seed=seed,
-                telemetry=tele,
-                coverage=cov,
+        # The probe objects are run-local (that is why probe-laden
+        # verification bypasses the pipeline cache), but their *totals*
+        # are a deterministic function of circuit + sweep params — so
+        # the derived JSON block itself is cached, keyed through the
+        # verify chain with a probe marker.
+        blocks = None
+        tele_key = ""
+        if store is not None:
+            tele_key = prun.key_of(
+                "verify",
+                extra={
+                    "runs": verify_runs,
+                    "max_transitions": verify_transitions,
+                    "base_seed": seed,
+                    "probe": "telemetry-coverage/1",
+                },
             )
-        finally:
-            set_metrics(prev_metrics)
-        entry["telemetry"] = tele.totals()
-        entry["coverage"] = cov.totals()
+            found, blocks = store.get(tele_key)
+            if not found:
+                blocks = None
+            if "cache" in entry:
+                tally = entry["cache"]["stages"].setdefault(
+                    "bench-telemetry", {"hit": 0, "miss": 0}
+                )
+                tally["hit" if found else "miss"] += 1
+                entry["cache"]["hits" if found else "misses"] += 1
+        if blocks is None:
+            from ..core import verify_hazard_freeness as _verify
+            from .coverage import CoverageMap
+            from .telemetry import HazardTelemetry
+
+            tele = HazardTelemetry.for_circuit(circuit)
+            cov = CoverageMap.for_circuit(circuit)
+            # keep probe runs out of caller metrics
+            set_metrics(MetricsRegistry())
+            try:
+                _verify(
+                    circuit,
+                    runs=verify_runs,
+                    max_transitions=verify_transitions,
+                    base_seed=seed,
+                    telemetry=tele,
+                    coverage=cov,
+                )
+            finally:
+                set_metrics(prev_metrics)
+            blocks = {"telemetry": tele.totals(), "coverage": cov.totals()}
+            if store is not None:
+                store.put(
+                    tele_key,
+                    blocks,
+                    meta={
+                        "stage": "bench-telemetry",
+                        "version": 1,
+                        "name": name,
+                        "root": prun.root_digest,
+                        "env": prun.env_digest,
+                    },
+                )
+        entry["telemetry"] = blocks["telemetry"]
+        entry["coverage"] = blocks["coverage"]
     return entry, tracer
 
 
@@ -213,6 +287,7 @@ def run_bench(
     chrome_trace: str | None = None,
     telemetry: bool = True,
     progress=None,
+    store=None,
 ) -> dict:
     """Run the harness over ``circuits`` and return the bench document.
 
@@ -221,6 +296,9 @@ def run_bench(
     optional ``fn(name, entry)`` callback invoked after each circuit.
     ``telemetry`` (default on) adds a hazard-telemetry block per
     circuit, measured on an extra untimed verification sweep.
+    ``store`` routes each circuit through the content-addressed
+    pipeline cache and adds per-entry + document-level ``cache``
+    hit/miss summaries.
     """
     from ..bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
 
@@ -239,7 +317,11 @@ def run_bench(
     last_tracer: Tracer | None = None
     for name in circuits:
         entry, tracer = bench_circuit(
-            name, runs=runs, verify_runs=verify_runs, telemetry=telemetry
+            name,
+            runs=runs,
+            verify_runs=verify_runs,
+            telemetry=telemetry,
+            store=store,
         )
         entries.append(entry)
         last_tracer = tracer
@@ -247,7 +329,7 @@ def run_bench(
             progress(name, entry)
     if chrome_trace and last_tracer is not None:
         last_tracer.write_chrome(chrome_trace)
-    return {
+    doc = {
         "schema": BENCH_SCHEMA,
         "created_utc": _utc_now().strftime("%Y-%m-%dT%H:%M:%SZ"),
         "quick": bool(quick),
@@ -260,6 +342,18 @@ def run_bench(
             "circuits": len(entries),
         },
     }
+    if store is not None:
+        hits = sum(e["cache"]["hits"] for e in entries)
+        misses = sum(e["cache"]["misses"] for e in entries)
+        doc["cache"] = {
+            "dir": store.root,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses
+            else 0.0,
+        }
+    return doc
 
 
 def write_bench(doc: dict, path: str | None = None) -> str:
@@ -348,5 +442,19 @@ def validate_bench(doc) -> list[str]:
                     if not isinstance(v, (int, float)) or not 0 <= v <= 100:
                         problems.append(
                             f"{where}.coverage.{key}: not a percentage"
+                        )
+        # cache is optional (only cached runs carry it) but its
+        # counters must be sane when present, so `repro regress` can
+        # tell warm documents from cold ones
+        cache = entry.get("cache")
+        if cache is not None:
+            if not isinstance(cache, dict):
+                problems.append(f"{where}.cache: not an object")
+            else:
+                for key in ("hits", "misses"):
+                    v = cache.get(key)
+                    if not isinstance(v, int) or v < 0:
+                        problems.append(
+                            f"{where}.cache.{key}: not a non-negative int"
                         )
     return problems

@@ -1,0 +1,47 @@
+"""Content-addressed pipeline DAG with a persistent artifact cache.
+
+The synthesis flow is modeled as an explicit DAG of stages (``parse →
+sg-build → classify / regions → sop-derivation → covers → netlist →
+delays → verify``), each keyed on
+``sha256(spec canonical digest + upstream artifact keys + stage
+version + env fingerprint)`` and serialized to an on-disk
+:class:`ArtifactStore` with atomic rename writes, corrupt-entry
+quarantine and lock-safe garbage collection.
+
+See ``docs/PIPELINE.md`` for the model, key derivation, cache layout
+and the ``repro cache`` CLI.
+"""
+
+from .dag import (
+    KEY_SCHEMA,
+    PipelineRun,
+    cache_bypass,
+    cache_bypassed,
+    resolve_store,
+)
+from .stages import STAGES, STAGE_VERSIONS, Classification, CoverBundle, StageDef
+from .store import (
+    ArtifactStore,
+    CacheEntry,
+    GcReport,
+    parse_age,
+    parse_size,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CacheEntry",
+    "Classification",
+    "CoverBundle",
+    "GcReport",
+    "KEY_SCHEMA",
+    "PipelineRun",
+    "STAGES",
+    "STAGE_VERSIONS",
+    "StageDef",
+    "cache_bypass",
+    "cache_bypassed",
+    "parse_age",
+    "parse_size",
+    "resolve_store",
+]

@@ -47,7 +47,7 @@ from .encoding import (
 )
 from .csc import CscConflict, csc_report, insert_state_signal
 from .dot import sg_to_dot, netlist_to_dot
-from .sgformat import parse_sg, write_sg
+from .sgformat import canonicalize_spec, parse_sg, spec_digest, write_sg
 
 __all__ = [
     "StateGraph",
@@ -89,6 +89,8 @@ __all__ = [
     "insert_state_signal",
     "sg_to_dot",
     "netlist_to_dot",
+    "canonicalize_spec",
     "parse_sg",
+    "spec_digest",
     "write_sg",
 ]

@@ -208,7 +208,10 @@ class TestProfileCli:
                       "minimize", "espresso", "netlist-build",
                       "delay-eval"):
             assert phase in err, f"phase {phase} missing from profile"
-        assert "\n  sop-derivation" in err  # indented = nested
+        # the CLI pulls through the content-addressed DAG: stage spans
+        # wrap the work, and sop-derivation is nested inside them
+        assert "pipeline.stage" in err
+        assert re.search(r"\n +sop-derivation", err)  # indented = nested
 
     def test_synth_without_profile_prints_no_spans(self, gfile, capsys):
         assert main(["synth", str(gfile)]) == 0

@@ -1,0 +1,255 @@
+"""The content-addressed DAG: key derivation, demand-driven
+resolution, and — the property the whole design exists for —
+invalidation of *exactly* the downstream cone.
+
+``PipelineRun.executed`` records the stages actually computed (cache
+misses) in order; the invalidation tests spy on it to prove what re-ran
+and, just as important, what did not.
+"""
+
+import pytest
+
+from repro.core.synthesizer import SynthesisError, synthesize
+from repro.pipeline import (
+    STAGES,
+    STAGE_VERSIONS,
+    ArtifactStore,
+    PipelineRun,
+    cache_bypass,
+    resolve_store,
+)
+from repro.sg.sgformat import parse_sg, write_sg
+
+CELEM_G = """
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+#: every stage a cold synthesize()+verify() computes, in order
+FULL_CONE = [
+    "parse", "sg-build", "classify", "regions", "sop-derivation",
+    "covers", "netlist", "delays", "verify",
+]
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(str(tmp_path / "cache"))
+
+
+def run_all(store, text=CELEM_G, **kw) -> PipelineRun:
+    """One full cold-or-warm pass: synthesize then verify."""
+    run = PipelineRun.from_text(text, name="celem", store=store, **kw)
+    run.synthesize()
+    run.verify(runs=2)
+    return run
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, store):
+        a = PipelineRun.from_text(CELEM_G, name="celem")
+        b = PipelineRun.from_text(CELEM_G, name="celem")
+        for stage in STAGES:
+            assert a.key_of(stage) == b.key_of(stage)
+
+    def test_all_stage_keys_distinct(self):
+        run = PipelineRun.from_text(CELEM_G, name="celem")
+        keys = [run.key_of(s) for s in STAGES]
+        assert len(set(keys)) == len(keys)
+
+    def test_param_scoping(self):
+        """A parameter reaches only the stages that declare it: the
+        minimizer method feeds ``covers`` but not ``sop-derivation``."""
+        esp = PipelineRun.from_text(CELEM_G, name="celem", method="espresso")
+        qm = PipelineRun.from_text(CELEM_G, name="celem", method="qm")
+        assert esp.key_of("sop-derivation") == qm.key_of("sop-derivation")
+        assert esp.key_of("covers") != qm.key_of("covers")
+        # and the change propagates through the downstream cone
+        assert esp.key_of("delays") != qm.key_of("delays")
+
+    def test_cosmetic_edit_preserves_keys(self):
+        cosmetic = CELEM_G.replace(".graph", "# a comment\n.graph")
+        a = PipelineRun.from_text(CELEM_G, name="celem")
+        b = PipelineRun.from_text(cosmetic, name="celem")
+        assert a.key_of("delays") == b.key_of("delays")
+
+    def test_from_sg_matches_serialized_text(self):
+        sg = parse_sg(write_sg(parse_sg(write_sg(
+            _celem_sg(), "celem")), "celem"))
+        by_sg = PipelineRun.from_sg(sg, name="celem")
+        by_text = PipelineRun.from_text(write_sg(sg, "celem"), name="celem")
+        assert by_sg.root_digest == by_text.root_digest
+
+
+def _celem_sg():
+    from repro.stg import elaborate, parse_g
+
+    return elaborate(parse_g(CELEM_G))
+
+
+class TestResolution:
+    def test_cold_run_computes_full_cone_in_order(self, store):
+        run = run_all(store)
+        assert run.executed == FULL_CONE
+        rep = run.report()
+        assert rep["misses"] == len(FULL_CONE) and rep["hits"] == 0
+
+    def test_warm_run_computes_nothing(self, store):
+        run_all(store)
+        warm = run_all(store)
+        assert warm.executed == []
+        rep = warm.report()
+        assert rep["misses"] == 0 and rep["hits"] > 0
+        # demand-driven: a hit on a downstream stage never even asks
+        # for its upstream inputs
+        assert set(rep["stages"]) == {"classify", "delays", "verify"}
+
+    def test_warm_circuit_is_equivalent(self, store):
+        cold = run_all(store).circuit()
+        warm = run_all(store).circuit()
+        assert warm.describe() == cold.describe()
+        from repro.netlist import write_verilog
+
+        assert write_verilog(warm.netlist) == write_verilog(cold.netlist)
+        assert (warm.stats().area, warm.stats().delay) == (
+            cold.stats().area, cold.stats().delay
+        )
+
+    def test_storeless_run_matches_direct_synthesis(self):
+        run = PipelineRun.from_text(CELEM_G, name="celem")
+        direct = synthesize(_celem_sg(), name="celem")
+        assert run.synthesize().describe() == direct.describe()
+
+    def test_memoized_single_resolution(self, store):
+        run = PipelineRun.from_text(CELEM_G, name="celem", store=store)
+        assert run.sg() is run.sg()
+        assert run.executed.count("sg-build") == 1
+
+    def test_classification_gate(self, store):
+        from repro.bench.circuits import figure1_sg
+
+        bad = write_sg(figure1_sg(), name="figure1")  # CSC conflict
+        run = PipelineRun.from_text(bad, name="figure1", store=store)
+        with pytest.raises(SynthesisError) as exc:
+            run.synthesize()
+        assert "Theorem 2" in str(exc.value)
+        # the verdict itself is cached: a warm run raises from a hit
+        warm = PipelineRun.from_text(bad, name="figure1", store=store)
+        with pytest.raises(SynthesisError):
+            warm.synthesize()
+        assert warm.executed == []
+
+
+class TestInvalidation:
+    """Version bumps, env changes and spec edits re-run exactly the
+    downstream cone — never anything upstream."""
+
+    def test_version_bump_reruns_exactly_downstream_cone(
+        self, store, monkeypatch
+    ):
+        run_all(store)
+        monkeypatch.setitem(STAGE_VERSIONS, "covers", 2)
+        warm = run_all(store)
+        assert warm.executed == ["covers", "netlist", "delays", "verify"]
+        # upstream stages were served from cache, not recomputed
+        for stage in ("parse", "sg-build", "classify", "regions",
+                      "sop-derivation"):
+            assert stage not in warm.executed
+
+    def test_leaf_stage_bump_reruns_only_itself(self, store, monkeypatch):
+        run_all(store)
+        monkeypatch.setitem(STAGE_VERSIONS, "verify", 2)
+        warm = run_all(store)
+        assert warm.executed == ["verify"]
+
+    def test_root_stage_bump_reruns_everything(self, store, monkeypatch):
+        run_all(store)
+        monkeypatch.setitem(STAGE_VERSIONS, "sg-build", 2)
+        warm = run_all(store)
+        assert warm.executed == FULL_CONE[1:]  # parse's key is unchanged
+
+    def test_env_change_invalidates_everything(self, store):
+        run_all(store, env_digest="machine-a")
+        warm = run_all(store, env_digest="machine-b")
+        assert warm.executed == FULL_CONE
+        # and machine-a's artifacts are still there untouched
+        back = run_all(store, env_digest="machine-a")
+        assert back.executed == []
+
+    def test_semantic_spec_edit_invalidates_everything(self, store):
+        run_all(store)
+        edited = CELEM_G.replace(".model celem", ".model renamed")
+        warm = run_all(store, text=edited)
+        assert warm.executed == FULL_CONE
+
+    def test_cosmetic_spec_edit_invalidates_nothing(self, store):
+        run_all(store)
+        cosmetic = CELEM_G.replace(
+            "a+ c+\nb+ c+", "  b+   c+\n# noise\na+ c+"
+        )
+        warm = run_all(store, text=cosmetic)
+        assert warm.executed == []
+
+    def test_verify_params_are_part_of_the_key(self, store):
+        run_all(store)  # cached verify used runs=2
+        warm = PipelineRun.from_text(CELEM_G, name="celem", store=store)
+        warm.synthesize()
+        warm.verify(runs=3)
+        assert warm.executed == ["verify"]
+
+
+class TestBypass:
+    def test_bypass_neither_reads_nor_writes(self, store):
+        run_all(store)  # populate
+        hits, misses = store.hits, store.misses
+        with cache_bypass():
+            run = run_all(store)
+        assert run.executed == FULL_CONE  # read side suspended
+        assert (store.hits, store.misses) == (hits, misses)  # not consulted
+        # write side too: nothing new appeared
+        assert ArtifactStore(store.root).stats()["entries"] == len(FULL_CONE)
+
+    def test_bypass_restores_on_exit(self, store):
+        run_all(store)
+        with cache_bypass():
+            pass
+        warm = run_all(store)
+        assert warm.executed == []
+
+    def test_probe_laden_verify_bypasses_cache(self, store):
+        run = run_all(store)
+        before = ArtifactStore(store.root).stats()["by_stage"]
+        summary = run.verify(runs=2, keep_traces=True)
+        assert summary.traces  # the probe produced run-local data
+        after = ArtifactStore(store.root).stats()["by_stage"]
+        assert after == before  # no new verify artifacts cached
+
+
+class TestResolveStore:
+    def test_no_cache_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_store(str(tmp_path / "cli"), no_cache=True) is None
+
+    def test_explicit_dir_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        st = resolve_store(str(tmp_path / "cli"))
+        assert st is not None and st.root == str(tmp_path / "cli")
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        st = resolve_store(None)
+        assert st is not None and st.root == str(tmp_path / "env")
+
+    def test_default_is_hermetic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_store(None) is None

@@ -99,3 +99,112 @@ class TestRoundtrip:
         a = synthesize(celem_sg).stats()
         b = synthesize(back).stats()
         assert (a.area, a.delay) == (b.area, b.delay)
+
+
+CELEM_G = """
+.model celem
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+class TestSpecDigest:
+    """The content-addressed pipeline's root key: cosmetic edits keep
+    the digest, semantic edits change it."""
+
+    def digest(self, text):
+        from repro.sg import spec_digest
+
+        return spec_digest(text)
+
+    # -- cosmetic invariance -----------------------------------------
+    def test_comments_and_blank_lines_ignored(self):
+        noisy = CELEM_G.replace(
+            ".graph", "# a comment\n\n.graph  # trailing comment"
+        )
+        assert self.digest(noisy) == self.digest(CELEM_G)
+
+    def test_whitespace_runs_ignored(self):
+        spaced = CELEM_G.replace("a+ c+", "   a+\t \tc+   ")
+        assert self.digest(spaced) == self.digest(CELEM_G)
+
+    def test_declaration_name_order_ignored(self):
+        swapped = CELEM_G.replace(".inputs a b", ".inputs b a")
+        assert self.digest(swapped) == self.digest(CELEM_G)
+
+    def test_split_declarations_ignored(self):
+        split = CELEM_G.replace(".inputs a b", ".inputs a\n.inputs b")
+        assert self.digest(split) == self.digest(CELEM_G)
+
+    def test_graph_line_order_ignored(self):
+        reordered = CELEM_G.replace(
+            "a+ c+\nb+ c+", "b+ c+\na+ c+"
+        )
+        assert self.digest(reordered) == self.digest(CELEM_G)
+
+    def test_successor_grouping_ignored(self):
+        # "c+ a- b-" is the same two arcs as "c+ a-" plus "c+ b-"
+        ungrouped = CELEM_G.replace("c+ a- b-", "c+ a-\nc+ b-")
+        assert self.digest(ungrouped) == self.digest(CELEM_G)
+
+    def test_marking_token_order_ignored(self):
+        swapped = CELEM_G.replace(
+            "{ <c-,a+> <c-,b+> }", "{ <c-,b+>   <c-, a+> }"
+        )
+        assert self.digest(swapped) == self.digest(CELEM_G)
+
+    def test_sg_dialect_arc_order_ignored_with_explicit_marking(self):
+        reordered = HANDSHAKE_SG.replace(
+            "s0 r+ s1\ns1 y+ s2", "s1 y+ s2\ns0 r+ s1"
+        )
+        assert self.digest(reordered) == self.digest(HANDSHAKE_SG)
+
+    # -- semantic sensitivity ----------------------------------------
+    def test_arc_change_changes_digest(self):
+        assert self.digest(
+            CELEM_G.replace("a- c-", "a- b-")
+        ) != self.digest(CELEM_G)
+
+    def test_polarity_change_changes_digest(self):
+        assert self.digest(
+            HANDSHAKE_SG.replace("s0 r+ s1", "s0 r- s1")
+        ) != self.digest(HANDSHAKE_SG)
+
+    def test_model_rename_changes_digest(self):
+        # the name becomes the synthesized module's name
+        assert self.digest(
+            CELEM_G.replace(".model celem", ".model other")
+        ) != self.digest(CELEM_G)
+
+    def test_marking_change_changes_digest(self):
+        assert self.digest(
+            HANDSHAKE_SG.replace(".marking {s0}", ".marking {s2}")
+        ) != self.digest(HANDSHAKE_SG)
+
+    def test_signal_role_change_changes_digest(self):
+        moved = CELEM_G.replace(".inputs a b", ".inputs a").replace(
+            ".outputs c", ".outputs c b"
+        )
+        assert self.digest(moved) != self.digest(CELEM_G)
+
+    def test_implicit_initial_state_is_frozen(self):
+        # without a .marking, the first arc's source is the initial
+        # state — reordering arcs then IS a semantic edit
+        bare = HANDSHAKE_SG.replace(".marking {s0}\n", "")
+        rotated = bare.replace(
+            "s0 r+ s1\ns1 y+ s2", "s1 y+ s2\ns0 r+ s1"
+        )
+        assert self.digest(rotated) != self.digest(bare)
+
+    def test_digest_is_sha256_hex(self):
+        d = self.digest(CELEM_G)
+        assert len(d) == 64 and set(d) <= set("0123456789abcdef")
