@@ -11,8 +11,11 @@ engine:
   :class:`Severity` / :class:`Location`;
 * :mod:`repro.analysis.registry` — the ``@rule(...)`` registry;
 * :mod:`repro.analysis.rules_sg` / ``rules_trigger`` /
-  ``rules_netlist`` — the built-in rule catalog (see
-  docs/ANALYSIS.md);
+  ``rules_netlist`` / ``rules_hazard`` — the built-in rule catalog
+  (see docs/ANALYSIS.md);
+* :mod:`repro.analysis.certify` — the symbolic hazard certifier the
+  HZ rules surface (proof obligations, ``repro-certificate/1``
+  documents, differential soundness harness);
 * :mod:`repro.analysis.engine` — phased execution
   (:func:`run_rules`, :func:`analyze`, :func:`run_preflight`);
 * :mod:`repro.analysis.export` — text / ``repro-lint/1`` JSON /
@@ -39,6 +42,7 @@ from .registry import Rule, RuleMeta, RuleRegistry, Scope, default_registry, rul
 from . import rules_sg as _rules_sg  # noqa: F401  (registration side effect)
 from . import rules_trigger as _rules_trigger  # noqa: F401
 from . import rules_netlist as _rules_netlist  # noqa: F401
+from . import rules_hazard as _rules_hazard  # noqa: F401
 
 __all__ = [
     "Diagnostic",

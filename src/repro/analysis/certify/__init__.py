@@ -1,0 +1,59 @@
+"""Symbolic hazard certifier: static proofs of external hazard-freeness.
+
+Public surface:
+
+* :func:`certify_circuit` — discharge every obligation family over a
+  synthesized circuit, returning a :class:`Certificate`.
+* The per-family obligation functions (``trigger_obligations`` …) for
+  obligation-level testing and the HZ lint rules.
+* The differential soundness harness (:func:`cross_check`,
+  :func:`differential_suite`, :func:`differential_corpus`).
+"""
+
+from .differential import (
+    DifferentialOutcome,
+    SoundnessError,
+    archive_soundness_failure,
+    cross_check,
+    differential_corpus,
+    differential_suite,
+)
+from .engine import (
+    certify_circuit,
+    certify_cover,
+    coverage_obligations,
+    delay_obligations,
+    disjointness_obligations,
+    omega_obligations,
+    trigger_obligations,
+)
+from .obligations import (
+    CERT_SCHEMA,
+    PROVED,
+    REFUTED,
+    UNKNOWN,
+    Certificate,
+    Obligation,
+)
+
+__all__ = [
+    "CERT_SCHEMA",
+    "PROVED",
+    "REFUTED",
+    "UNKNOWN",
+    "Certificate",
+    "DifferentialOutcome",
+    "Obligation",
+    "SoundnessError",
+    "archive_soundness_failure",
+    "certify_circuit",
+    "certify_cover",
+    "coverage_obligations",
+    "cross_check",
+    "delay_obligations",
+    "differential_corpus",
+    "differential_suite",
+    "disjointness_obligations",
+    "omega_obligations",
+    "trigger_obligations",
+]

@@ -1,0 +1,153 @@
+"""Proof-obligation and certificate records (``repro-certificate/1``).
+
+An :class:`Obligation` is one statically dischargeable condition of the
+paper's hazard-freeness argument — a Theorem 1 trigger-containment
+query, a static-1/static-0 cover condition, an Equation (1) inequality
+instantiation, or the Theorem 2 ω-margin bound — together with its
+verdict and a machine-checkable witness (the cubes or inequality terms
+that make the verdict reproducible without re-running the engine).
+
+Verdict semantics are asymmetric by design:
+
+* ``proved`` — the condition holds; the witness exhibits why.  A
+  ``proved`` verdict must never contradict the Monte-Carlo oracle (the
+  differential harness enforces this).
+* ``refuted`` — the condition fails; the witness is a counterexample.
+* ``unknown`` — the static bound cannot decide (e.g. the ω-margin
+  under extreme delay derating).  Always sound to emit; callers fall
+  back to simulation.
+
+A :class:`Certificate` aggregates every obligation of one circuit and
+serializes to the ``repro-certificate/1`` JSON document the CLI emits
+and the pipeline store content-addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "CERT_SCHEMA",
+    "PROVED",
+    "REFUTED",
+    "UNKNOWN",
+    "Obligation",
+    "Certificate",
+]
+
+CERT_SCHEMA = "repro-certificate/1"
+
+PROVED = "proved"
+REFUTED = "refuted"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class Obligation:
+    """One discharged (or not) proof obligation."""
+
+    rule: str  # HZ001..HZ005
+    signal: str  # signal name the obligation concerns ("" = circuit-wide)
+    kind: str  # "set" / "reset" / ""
+    subject: str  # human-readable statement of the condition
+    verdict: str  # PROVED / REFUTED / UNKNOWN
+    witness: dict[str, Any] = field(default_factory=dict)
+    detail: str = ""  # one-line explanation of the verdict
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict == PROVED
+
+    @property
+    def refuted(self) -> bool:
+        return self.verdict == REFUTED
+
+    @property
+    def unknown(self) -> bool:
+        return self.verdict == UNKNOWN
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "signal": self.signal,
+            "kind": self.kind,
+            "subject": self.subject,
+            "verdict": self.verdict,
+            "witness": self.witness,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    def describe(self) -> str:
+        where = f"{self.kind}({self.signal})" if self.signal else "circuit"
+        return f"{self.rule} {where}: {self.subject} — {self.verdict}"
+
+
+@dataclass
+class Certificate:
+    """Every obligation of one circuit, plus the synthesis knobs that
+    scoped them (a certificate only speaks for the exact operating
+    point it was discharged at)."""
+
+    name: str
+    method: str = "espresso"
+    spread: float = 0.0
+    mhs_tau: float = 1.2
+    obligations: list[Obligation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.obligations)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out = {PROVED: 0, REFUTED: 0, UNKNOWN: 0}
+        for ob in self.obligations:
+            out[ob.verdict] = out.get(ob.verdict, 0) + 1
+        return out
+
+    @property
+    def fully_proved(self) -> bool:
+        """True when *every* obligation is ``proved`` — the verdict that
+        licenses skipping Monte-Carlo verification entirely."""
+        return bool(self.obligations) and all(
+            ob.proved for ob in self.obligations
+        )
+
+    def refuted(self) -> list[Obligation]:
+        return [ob for ob in self.obligations if ob.refuted]
+
+    def undecided(self) -> list[Obligation]:
+        return [ob for ob in self.obligations if ob.unknown]
+
+    def by_rule(self) -> dict[str, list[Obligation]]:
+        out: dict[str, list[Obligation]] = {}
+        for ob in self.obligations:
+            out.setdefault(ob.rule, []).append(ob)
+        return out
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": CERT_SCHEMA,
+            "name": self.name,
+            "method": self.method,
+            "spread": self.spread,
+            "mhs_tau": self.mhs_tau,
+            "counts": self.counts,
+            "fully_proved": self.fully_proved,
+            "obligations": [ob.to_json() for ob in self.obligations],
+        }
+
+    def summary(self) -> str:
+        c = self.counts
+        status = (
+            "CERTIFIED"
+            if self.fully_proved
+            else ("REFUTED" if c[REFUTED] else "UNDECIDED")
+        )
+        return (
+            f"{self.name}: {status} — {c[PROVED]} proved, "
+            f"{c[REFUTED]} refuted, {c[UNKNOWN]} unknown "
+            f"over {len(self.obligations)} obligations"
+        )

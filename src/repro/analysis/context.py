@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
     from ..core.synthesizer import NShotCircuit
     from ..logic.cover import Cover
     from ..pipeline.dag import PipelineRun
+    from .certify import Certificate
 
 __all__ = ["LintContext"]
 
@@ -80,7 +81,9 @@ class LintContext:
         self._netlist = netlist
         self._spec: "SopSpec | None" = None
         self._cover: "Cover | None" = cover
+        self._injected_cover = cover is not None
         self._circuit: "NShotCircuit | None" = None
+        self._certificate: "Certificate | None" = None
 
     # ------------------------------------------------------------------
     # lazy derived products
@@ -136,6 +139,22 @@ class LintContext:
                 )
         return self._circuit
 
+    def require_certificate(self) -> "Certificate":
+        """The circuit's hazard certificate (the HZ rules' substrate),
+        discharged once and shared across all five rule bodies.  When
+        the run has a pipeline, the content-addressed ``certify`` stage
+        serves it from the artifact store."""
+        if self._certificate is None:
+            if self.pipeline is not None:
+                self._certificate = self.pipeline.certify()
+            else:
+                from .certify import certify_circuit
+
+                self._certificate = certify_circuit(
+                    self.require_circuit(), name=self.name
+                )
+        return self._certificate
+
     def require_netlist(self) -> Netlist:
         if self._netlist is None:
             self._netlist = self.require_circuit().netlist
@@ -145,6 +164,13 @@ class LintContext:
     def has_own_netlist(self) -> bool:
         """True when the context was created over a pre-built netlist."""
         return self._netlist is not None
+
+    @property
+    def has_own_cover(self) -> bool:
+        """True when a pre-minimized cover was injected at construction
+        (tests seed fragmented/mutated covers this way); the hazard
+        rules then certify that cover instead of the synthesized one."""
+        return self._injected_cover
 
     # ------------------------------------------------------------------
     # location helpers

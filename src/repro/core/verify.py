@@ -53,6 +53,7 @@ __all__ = [
     "VerificationSummary",
     "run_oracle",
     "verify_hazard_freeness",
+    "verify_static_first",
 ]
 
 
@@ -297,9 +298,18 @@ class VerificationSummary:
     telemetry: dict | None = None
     coverage: dict | None = None
     traces: "TraceSet | None" = None
+    #: the ``repro-certificate/1`` document when the static certifier
+    #: ran first (``--static-first``); present whether or not the
+    #: Monte-Carlo phase was subsequently skipped
+    certificate: dict | None = None
+    #: True when the certificate was fully proved and the Monte-Carlo
+    #: sweep was skipped entirely (``runs`` is then empty)
+    static_skip: bool = False
 
     @property
     def ok(self) -> bool:
+        if self.static_skip:
+            return True
         return all(r.ok for r in self.runs)
 
     @property
@@ -315,6 +325,12 @@ class VerificationSummary:
         return sum(r.observable_glitches for r in self.runs)
 
     def summary(self) -> str:
+        if self.static_skip:
+            n = len((self.certificate or {}).get("obligations", []))
+            return (
+                f"HAZARD-FREE (statically certified): {n} obligations "
+                f"proved, Monte-Carlo skipped"
+            )
         status = "HAZARD-FREE" if self.ok else "VIOLATIONS"
         return (
             f"{status}: {len(self.runs)} runs, {self.total_transitions} observable "
@@ -420,4 +436,33 @@ def verify_hazard_freeness(
         summary.coverage = coverage.summary()
     if sims:
         summary.traces = sims[-1].traces
+    return summary
+
+
+def verify_static_first(
+    circuit: NShotCircuit, **kwargs: object
+) -> VerificationSummary:
+    """Static certification first, Monte-Carlo only as the fallback.
+
+    Discharges the symbolic hazard certificate
+    (:func:`repro.analysis.certify.certify_circuit`); when every
+    obligation is ``proved`` the Monte-Carlo sweep is skipped entirely
+    and the summary carries the certificate instead of runs.  Any
+    ``refuted``/``unknown`` obligation falls back to the full
+    :func:`verify_hazard_freeness` sweep (same keyword arguments), with
+    the certificate still attached for reporting.
+
+    Soundness: skipping is only licensed by ``fully_proved``, and the
+    differential harness (certifier vs oracle over the suite + fuzz
+    corpus) enforces that ``proved`` never contradicts the oracle.
+    """
+    from ..analysis.certify import certify_circuit
+
+    cert = certify_circuit(circuit)
+    if cert.fully_proved:
+        return VerificationSummary(
+            certificate=cert.to_json(), static_skip=True
+        )
+    summary = verify_hazard_freeness(circuit, **kwargs)  # type: ignore[arg-type]
+    summary.certificate = cert.to_json()
     return summary

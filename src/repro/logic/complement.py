@@ -34,6 +34,9 @@ def complement_cube(cube: Cube) -> Cover:
     """
     n = cube.num_inputs
     out = Cover.empty(n, 1)
+    # A cube with no bound literals (including every cube over zero
+    # variables) is the universal cube; its complement is the empty
+    # cover (constant 0) — the loop below adds nothing, which is right.
     for var in range(n):
         f = cube.literal(var)
         if f == LIT_ONE:
@@ -48,9 +51,14 @@ def complement(cover: Cover) -> Cover:
     n = cover.num_inputs
     cubes = [c for c in cover.cubes if not c.is_empty()]
     if not cubes:
+        # constant 0 complements to constant 1 — also over zero
+        # variables, where Cover.universe(0, 1) is the one-minterm
+        # space (the CONST-0 plane case the certifier probes).
         return Cover.universe(n, 1)
     for c in cubes:
         if c.is_full_inputs():
+            # any universal row (every non-empty cube when n == 0)
+            # makes the cover constant 1; complement is constant 0.
             return Cover.empty(n, 1)
     if len(cubes) == 1:
         return complement_cube(cubes[0])

@@ -75,13 +75,18 @@ def is_tautology(cover: Cover) -> bool:
     """
     cubes = [c for c in cover.cubes if not c.is_empty()]
     if not cubes:
-        return cover.num_inputs == 0 and False
-    # quick accept: a universal row
+        # The empty cover is the constant-0 function.  This holds even
+        # over zero variables: the space still has exactly one minterm
+        # (the empty assignment), and nothing covers it.  Planes that
+        # degenerate to CONST-0 gates land here.
+        return False
+    # quick accept: a universal row.  Over zero variables every
+    # non-empty cube *is* the universal row, so a non-empty cover of a
+    # zero-variable space (a CONST-1 plane) is always accepted here and
+    # the recursion below never sees num_inputs == 0.
     for c in cubes:
         if c.is_full_inputs():
             return True
-    if cover.num_inputs == 0:
-        return bool(cubes)
     # quick reject: total size bound
     total = 0
     space = 1 << cover.num_inputs

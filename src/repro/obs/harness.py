@@ -112,6 +112,7 @@ def bench_circuit(
     seed: int = 0,
     telemetry: bool = False,
     store=None,
+    static_first: bool = False,
 ) -> tuple[dict, Tracer]:
     """Measure one circuit ``runs`` times end to end.
 
@@ -131,9 +132,16 @@ def bench_circuit(
     synthesize+verify chain is pulled through the content-addressed
     pipeline DAG and the entry gains a ``cache`` block with per-stage
     hit/miss counts, so warm and cold documents are distinguishable.
+
+    With ``static_first`` the verification phase runs the symbolic
+    hazard certifier first and skips the Monte-Carlo sweep on a
+    fully-proved certificate; the entry gains a ``static`` block
+    recording whether the skip happened (the ``oracle`` phase then
+    disappears from ``phases`` — the measurable win).
     """
     from ..bench.runner import sg_of
     from ..core import synthesize, verify_hazard_freeness
+    from ..core.verify import verify_static_first
 
     phase_runs: dict[str, list[float]] = {}
     phase_calls: dict[str, int] = {}
@@ -154,7 +162,12 @@ def bench_circuit(
                 sg = sg_of(name)
                 if store is None:
                     circuit = synthesize(sg, name=name)
-                    verify_hazard_freeness(
+                    verifier = (
+                        verify_static_first
+                        if static_first
+                        else verify_hazard_freeness
+                    )
+                    summary = verifier(
                         circuit,
                         runs=verify_runs,
                         max_transitions=verify_transitions,
@@ -165,10 +178,11 @@ def bench_circuit(
 
                     prun = PipelineRun.from_sg(sg, name=name, store=store)
                     circuit = prun.synthesize()
-                    prun.verify(
+                    summary = prun.verify(
                         runs=verify_runs,
                         max_transitions=verify_transitions,
                         base_seed=seed,
+                        static_first=static_first,
                     )
         finally:
             set_metrics(prev_metrics)
@@ -213,6 +227,13 @@ def bench_circuit(
             "hits": cache_hits,
             "misses": cache_misses,
             "stages": cache_stages,
+        }
+    if static_first:
+        cert = summary.certificate or {}
+        entry["static"] = {
+            "mc_skipped": bool(summary.static_skip),
+            "fully_proved": bool(cert.get("fully_proved", summary.static_skip)),
+            "counts": dict(cert.get("counts", {})),
         }
     if telemetry:
         # The probe objects are run-local (that is why probe-laden
@@ -288,6 +309,7 @@ def run_bench(
     telemetry: bool = True,
     progress=None,
     store=None,
+    static_first: bool = False,
 ) -> dict:
     """Run the harness over ``circuits`` and return the bench document.
 
@@ -298,7 +320,9 @@ def run_bench(
     circuit, measured on an extra untimed verification sweep.
     ``store`` routes each circuit through the content-addressed
     pipeline cache and adds per-entry + document-level ``cache``
-    hit/miss summaries.
+    hit/miss summaries.  ``static_first`` verifies through the
+    symbolic certifier, skipping Monte-Carlo on fully-proved
+    certificates, and adds ``static`` blocks recording the skips.
     """
     from ..bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
 
@@ -322,6 +346,7 @@ def run_bench(
             verify_runs=verify_runs,
             telemetry=telemetry,
             store=store,
+            static_first=static_first,
         )
         entries.append(entry)
         last_tracer = tracer
@@ -342,6 +367,14 @@ def run_bench(
             "circuits": len(entries),
         },
     }
+    if static_first:
+        skipped = sum(
+            1 for e in entries if e.get("static", {}).get("mc_skipped")
+        )
+        doc["static_first"] = {
+            "circuits": len(entries),
+            "mc_skipped": skipped,
+        }
     if store is not None:
         hits = sum(e["cache"]["hits"] for e in entries)
         misses = sum(e["cache"]["misses"] for e in entries)
@@ -457,4 +490,12 @@ def validate_bench(doc) -> list[str]:
                         problems.append(
                             f"{where}.cache.{key}: not a non-negative int"
                         )
+        # static is optional (only --static-first runs carry it) but it
+        # must say whether the Monte-Carlo sweep was actually skipped
+        static = entry.get("static")
+        if static is not None:
+            if not isinstance(static, dict):
+                problems.append(f"{where}.static: not an object")
+            elif not isinstance(static.get("mc_skipped"), bool):
+                problems.append(f"{where}.static.mc_skipped: not a bool")
     return problems

@@ -44,6 +44,7 @@ from .stages import STAGES, STAGE_VERSIONS
 from .store import ArtifactStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.certify import Certificate
     from ..core.synthesizer import NShotCircuit
     from ..core.verify import VerificationSummary
 
@@ -296,6 +297,10 @@ class PipelineRun:
     def architecture(self):
         return self.artifact("netlist")
 
+    def certify(self) -> "Certificate":
+        """The circuit's static hazard certificate (``certify`` stage)."""
+        return self.artifact("certify")
+
     def ensure_valid(self) -> None:
         """Raise the same :class:`SynthesisError` ``synthesize`` would."""
         cls = self.classification()
@@ -333,6 +338,7 @@ class PipelineRun:
         base_seed: int = 0,
         input_delay: tuple[float, float] = (0.1, 6.0),
         max_events: int = 500_000,
+        static_first: bool = False,
         **probes: Any,
     ) -> "VerificationSummary":
         """Monte-Carlo hazard verification through the ``verify`` stage.
@@ -341,11 +347,26 @@ class PipelineRun:
         ``recorder=``, ``keep_traces=``) carry run-local probe objects
         whose observations are the point, so they bypass the cache and
         call the verifier directly on the (possibly cached) circuit.
+
+        ``static_first`` pulls the content-addressed ``certify``
+        artifact first: a fully-proved certificate licenses skipping
+        the Monte-Carlo sweep entirely (the returned summary carries
+        the certificate and ``static_skip=True``); otherwise the sweep
+        runs as usual with the certificate attached.
         """
+        cert = None
+        if static_first:
+            cert = self.certify()
+            if cert.fully_proved:
+                from ..core.verify import VerificationSummary
+
+                return VerificationSummary(
+                    certificate=cert.to_json(), static_skip=True
+                )
         if any(probes.values()):
             from ..core.verify import verify_hazard_freeness
 
-            return verify_hazard_freeness(
+            summary = verify_hazard_freeness(
                 self.circuit(),
                 runs=runs,
                 jitter=jitter,
@@ -356,17 +377,21 @@ class PipelineRun:
                 max_events=max_events,
                 **probes,
             )
-        params = {
-            "runs": runs,
-            "jitter": jitter,
-            "max_transitions": max_transitions,
-            "max_time": max_time,
-            "base_seed": base_seed,
-            "input_delay": list(input_delay),
-            "max_events": max_events,
-        }
-        self.verify_params = params
-        return self.artifact("verify", extra=params)
+        else:
+            params = {
+                "runs": runs,
+                "jitter": jitter,
+                "max_transitions": max_transitions,
+                "max_time": max_time,
+                "base_seed": base_seed,
+                "input_delay": list(input_delay),
+                "max_events": max_events,
+            }
+            self.verify_params = params
+            summary = self.artifact("verify", extra=params)
+        if cert is not None and summary.certificate is None:
+            summary.certificate = cert.to_json()
+        return summary
 
     # ------------------------------------------------------------------
     # reporting

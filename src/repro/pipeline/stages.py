@@ -19,6 +19,7 @@ The DAG::
                  ├──► regions ──► sop-derivation ──► covers ──► netlist
                  │                     │                │          │
                  └─────────────────────┴────────────────┴──────────┴─► delays ─► verify
+                                                                          └────► certify
 """
 
 from __future__ import annotations
@@ -67,6 +68,7 @@ STAGE_VERSIONS: dict[str, int] = {
     "netlist": 1,
     "delays": 1,
     "verify": 1,
+    "certify": 1,
 }
 
 
@@ -210,6 +212,20 @@ def _stage_verify(run: "PipelineRun"):
     return verify_hazard_freeness(circuit, **params)
 
 
+def _stage_certify(run: "PipelineRun"):
+    from ..analysis.certify import certify_circuit
+
+    circuit = run.artifact("delays")
+    lib = run.params["library"]
+    return certify_circuit(
+        circuit,
+        library=Library(
+            level_delay=lib["level_delay"], pair_area=lib["pair_area"]
+        ),
+        name=run.name,
+    )
+
+
 #: The catalog, in topological order.
 STAGES: dict[str, StageDef] = {
     s.name: s
@@ -237,5 +253,11 @@ STAGES: dict[str, StageDef] = {
             _stage_delays,
         ),
         StageDef("verify", ("delays",), (), _stage_verify),
+        StageDef(
+            "certify",
+            ("covers", "delays"),
+            ("name", "method", "spread", "mhs_tau", "library"),
+            _stage_certify,
+        ),
     )
 }

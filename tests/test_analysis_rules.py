@@ -46,6 +46,11 @@ ALL_RULE_IDS = [
     "NL004",
     "NL005",
     "NL006",
+    "HZ001",
+    "HZ002",
+    "HZ003",
+    "HZ004",
+    "HZ005",
 ]
 
 
