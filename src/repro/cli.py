@@ -126,20 +126,31 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def _with_profile(args: argparse.Namespace, body) -> int:
-    """Run ``body()`` under an enabled tracer when ``--profile`` is set
-    and print the span tree to stderr afterwards.
+    """Run ``body()`` under an enabled tracer when ``--profile`` or
+    ``--profile-out`` is set: print the span tree to stderr
+    (``--profile``) and/or persist it as a diffable ``repro-trace/1``
+    JSON artifact (``--profile-out PATH``).
 
     There is no second timing path: the profile table *is* the tracer's
     span tree, the same spans the bench harness aggregates.
     """
-    if not getattr(args, "profile", False):
+    profile_out = getattr(args, "profile_out", None)
+    if not getattr(args, "profile", False) and not profile_out:
         return body()
     from .obs import Tracer, tracing
 
     with tracing(Tracer()) as tracer:
         code = body()
-    print("\n── profile (spans, wall-clock) ──", file=sys.stderr)
-    print(tracer.render_tree(), file=sys.stderr)
+    if profile_out:
+        import json as json_mod
+
+        with open(profile_out, "w") as f:
+            json_mod.dump(tracer.to_json(), f, indent=2)
+            f.write("\n")
+        print(f"wrote {profile_out} (repro-trace/1)", file=sys.stderr)
+    if getattr(args, "profile", False):
+        print("\n── profile (spans, wall-clock) ──", file=sys.stderr)
+        print(tracer.render_tree(), file=sys.stderr)
     return code
 
 
@@ -887,6 +898,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             progress=progress,
             store=store,
             static_first=args.static_first,
+            profile_doc=args.profile_doc,
         )
     except KeyError as e:
         print(f"error: unknown benchmark circuit {e.args[0]!r}", file=sys.stderr)
@@ -916,10 +928,100 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"static-first: Monte-Carlo skipped on "
             f"{s['mc_skipped']}/{s['circuits']} certified circuit(s)"
         )
+    if "profile" in doc:
+        p = doc["profile"]
+        print(
+            f"profile: wrote {args.profile_doc} ({p['schema']}, "
+            f"{p['attributed_pct']:.1f}% attributed)"
+        )
     if args.history:
         from .obs.registry import RunHistory
 
-        entry = RunHistory(args.history_dir).append("bench", doc)
+        history = RunHistory(args.history_dir)
+        entry = history.append("bench", doc)
+        print(f"history: {entry.describe()}")
+        if args.profile_doc:
+            import json as json_mod
+
+            with open(args.profile_doc) as f:
+                pentry = history.append("profile", json_mod.load(f))
+            print(f"history: {pentry.describe()}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .obs import profiling
+
+    if args.diff:
+        try:
+            a = profiling.load_profile_document(
+                args.diff[0], history_dir=args.history_dir
+            )
+            b = profiling.load_profile_document(
+                args.diff[1], history_dir=args.history_dir
+            )
+        except (OSError, ValueError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        diff = profiling.diff_profiles(a, b, top=args.top)
+        if args.format == "json":
+            rendered = json_mod.dumps(diff, indent=2)
+        else:
+            rendered = profiling.render_diff_text(diff, top=args.top).rstrip()
+        if args.output:
+            with open(args.output, "w") as f:
+                f.write(rendered + "\n")
+            print(f"wrote {args.output} ({diff['schema']})")
+        else:
+            print(rendered)
+        return 0
+
+    def progress(name: str) -> None:
+        print(f"  {name}", file=sys.stderr)
+
+    # default workload is the quick subset; --suite asks for all 25
+    quick = args.quick or (not args.suite and not args.circuits)
+    try:
+        doc = profiling.profile_suite(
+            circuits=args.circuits or None,
+            quick=quick,
+            runs=args.runs,
+            engine=args.engine,
+            interval=args.interval,
+            memory=args.memory,
+            top=args.top,
+            progress=progress,
+        )
+    except KeyError as e:
+        print(f"error: unknown benchmark circuit {e.args[0]!r}", file=sys.stderr)
+        return 1
+    problems = profiling.validate_profile(doc)
+    if problems:  # pragma: no cover - session emits what it validates
+        print("error: profile document failed schema validation:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as f:
+            json_mod.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.output} ({doc['schema']})")
+    if args.folded:
+        with open(args.folded, "w") as f:
+            f.write(profiling.to_collapsed(doc))
+        print(f"wrote {args.folded} (collapsed stacks)")
+    if args.speedscope:
+        with open(args.speedscope, "w") as f:
+            json_mod.dump(profiling.to_speedscope(doc), f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.speedscope} (speedscope)")
+    print(profiling.render_profile_text(doc, top=args.top).rstrip())
+    if args.history:
+        from .obs.registry import RunHistory
+
+        entry = RunHistory(args.history_dir).append("profile", doc)
         print(f"history: {entry.describe()}")
     return 0
 
@@ -946,6 +1048,9 @@ def cmd_regress(args: argparse.Namespace) -> int:
             ),
             remeasure=args.remeasure,
             progress=progress,
+            hotspots=args.hotspots,
+            hotspot_top=args.hotspot_top,
+            history_dir=args.history_dir,
         )
     except (KeyError, ValueError) as e:
         print(f"error: {e}", file=sys.stderr)
@@ -1092,6 +1197,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-phase span tree (timings + metrics) to stderr",
     )
     p_synth.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="persist the span tree as a repro-trace/1 JSON artifact "
+        "(implies tracing; combine with --profile for the stderr table)",
+    )
+    p_synth.add_argument(
         "--lint",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -1113,6 +1224,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print the per-phase span tree (timings + metrics) to stderr",
+    )
+    p_cmp.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="persist the span tree as a repro-trace/1 JSON artifact "
+        "(implies tracing; combine with --profile for the stderr table)",
     )
     p_cmp.add_argument(
         "--lint",
@@ -1457,9 +1574,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify through the symbolic certifier, skipping Monte-Carlo "
         "on fully-proved certificates (adds per-entry `static` blocks)",
     )
+    p_b.add_argument(
+        "--profile-doc",
+        metavar="PATH",
+        help="also run one untimed stage-scoped profiling sweep: write "
+        "the repro-profile/1 document here and embed per-phase hotspot "
+        "summaries into the bench entries",
+    )
     _add_history_args(p_b)
     _add_cache_args(p_b)
     p_b.set_defaults(func=cmd_bench)
+
+    p_p = sub.add_parser(
+        "profile",
+        help="stage-scoped hotspot profile of the benchmark pipeline",
+    )
+    p_p.add_argument(
+        "circuits",
+        nargs="*",
+        help="benchmark circuit names (default: the quick subset)",
+    )
+    p_p.add_argument(
+        "--suite",
+        action="store_true",
+        help="profile the full 25-circuit paper suite",
+    )
+    p_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="profile the quick circuit subset (the default workload)",
+    )
+    p_p.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="passes over each circuit (default 1; raise for more samples "
+        "on small circuits)",
+    )
+    p_p.add_argument(
+        "--engine",
+        choices=["sampler", "cprofile"],
+        default="sampler",
+        help="sampler = low-overhead wall-clock sampling (default); "
+        "cprofile = deterministic per-stage cProfile with call counts",
+    )
+    p_p.add_argument(
+        "--interval",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="sampling interval for the sampler engine (default 0.002)",
+    )
+    p_p.add_argument(
+        "--memory",
+        action="store_true",
+        help="also track per-stage tracemalloc allocation deltas",
+    )
+    p_p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="functions listed per table (default 15)",
+    )
+    p_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="--diff report format (json = repro-profile-diff/1)",
+    )
+    p_p.add_argument(
+        "-o",
+        "--output",
+        help="write the full repro-profile/1 JSON document here "
+        "(with --diff: the diff report)",
+    )
+    p_p.add_argument(
+        "--folded",
+        metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl / speedscope input)",
+    )
+    p_p.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="write a speedscope JSON profile (open at speedscope.app)",
+    )
+    p_p.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        help="differential profile B − A between two repro-profile/1 "
+        "files or run-history entries (per-function self-time deltas, "
+        "new/vanished frames)",
+    )
+    _add_history_args(p_p)
+    p_p.set_defaults(func=cmd_profile)
 
     p_r = sub.add_parser(
         "regress",
@@ -1517,7 +1725,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown",
         metavar="FILE",
         help="also write a markdown report (CI artifact: deltas + "
-        "ω-margin / delay-slack tables)",
+        "ω-margin / delay-slack + hotspot-attribution tables)",
+    )
+    p_r.add_argument(
+        "--hotspots",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="re-profile convicted circuits under the stage-scoped "
+        "sampler and attach top-N hotspot functions to the report "
+        "(--no-hotspots to skip)",
+    )
+    p_r.add_argument(
+        "--hotspot-top",
+        type=int,
+        default=5,
+        help="hotspot functions reported per regressed phase (default 5)",
     )
     _add_history_args(p_r)
     p_r.set_defaults(func=cmd_regress)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+from ..obs import get_metrics
 from .cube import LIT_DC, LIT_ONE, LIT_ZERO, Cube, supercube_of
 
 __all__ = ["Cover", "compact_minterm_cover"]
@@ -147,6 +148,7 @@ class Cover:
         This is the cheap ``sccc`` cleanup pass of ESPRESSO, not the
         full irredundant computation.
         """
+        get_metrics().counter("cover.cube_ops").add(len(self.cubes))
         kept: list[Cube] = []
         # Sort by decreasing size so that big cubes absorb small ones.
         order = sorted(self.cubes, key=lambda c: (-len(c.free_vars()), -c.outputs.bit_count()))
@@ -168,6 +170,7 @@ class Cover:
     # ------------------------------------------------------------------
     def evaluate(self, minterm: int) -> int:
         """Output bitmask produced by the cover for an input minterm."""
+        get_metrics().counter("cover.cube_ops").add(len(self.cubes))
         result = 0
         for c in self.cubes:
             if c.contains_minterm(minterm):
@@ -188,6 +191,7 @@ class Cover:
         output parts are preserved; callers project per output when
         multi-output semantics are needed.
         """
+        get_metrics().counter("cover.cube_ops").add(len(self.cubes))
         out = []
         for c in self.cubes:
             cf = c.cofactor(cube)
@@ -197,6 +201,7 @@ class Cover:
 
     def intersect_cube(self, cube: Cube) -> "Cover":
         """Cover of the intersections of every cube with ``cube``."""
+        get_metrics().counter("cover.cube_ops").add(len(self.cubes))
         out = []
         for c in self.cubes:
             i = c.intersect(cube)

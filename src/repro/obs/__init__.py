@@ -23,7 +23,12 @@ instrumentation hooks without cycles:
   ``repro-causality/1`` chain explanations (imported lazily);
 * :mod:`repro.obs.coverage` — SG state-space coverage maps
   (states / excitation-region traversals / trigger cubes fired,
-  ``repro-coverage/1``; imported lazily).
+  ``repro-coverage/1``; imported lazily);
+* :mod:`repro.obs.profiling` — stage-scoped hotspot profiler behind
+  ``repro profile``: sampling/cProfile engines folded through the span
+  tracer's contexts, ``repro-profile/1`` documents, collapsed-stack /
+  speedscope flamegraph exports, and differential profiles
+  (``repro-profile-diff/1``).
 
 See docs/OBSERVABILITY.md for schemas and instrumentation guidance.
 """
@@ -37,6 +42,14 @@ from .metrics import (
     percentile,
     set_metrics,
 )
+from .profiling import (
+    PROFILE_DIFF_SCHEMA,
+    PROFILE_SCHEMA,
+    ProfileSession,
+    diff_profiles,
+    profile_suite,
+    stage_totals_from_spans,
+)
 from .trace import (
     TRACE_SCHEMA,
     Span,
@@ -49,6 +62,12 @@ from .trace import (
 )
 
 __all__ = [
+    "PROFILE_DIFF_SCHEMA",
+    "PROFILE_SCHEMA",
+    "ProfileSession",
+    "diff_profiles",
+    "profile_suite",
+    "stage_totals_from_spans",
     "Counter",
     "Gauge",
     "Histogram",

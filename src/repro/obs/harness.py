@@ -48,6 +48,7 @@ WORK_METRICS = {
     "sim.runs": "sim_runs",
     "mhs.pulses_filtered": "mhs_pulses_filtered",
     "espresso.iterations": "espresso_iterations",
+    "cover.cube_ops": "cube_ops",
     "minimize.cubes": "cover_cubes",
     "minimize.literals": "cover_literals",
     "reachability.states": "reachability_states",
@@ -310,6 +311,7 @@ def run_bench(
     progress=None,
     store=None,
     static_first: bool = False,
+    profile_doc: str | None = None,
 ) -> dict:
     """Run the harness over ``circuits`` and return the bench document.
 
@@ -323,6 +325,11 @@ def run_bench(
     hit/miss summaries.  ``static_first`` verifies through the
     symbolic certifier, skipping Monte-Carlo on fully-proved
     certificates, and adds ``static`` blocks recording the skips.
+    ``profile_doc`` runs one extra *untimed* stage-scoped profiling
+    sweep over the same circuits, writes the full ``repro-profile/1``
+    document to that path, and embeds a per-entry ``profile`` block
+    (top hotspot functions per phase) plus a document-level summary —
+    so the timed medians stay uncontaminated by the sampler.
     """
     from ..bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
 
@@ -354,6 +361,43 @@ def run_bench(
             progress(name, entry)
     if chrome_trace and last_tracer is not None:
         last_tracer.write_chrome(chrome_trace)
+    profile_summary = None
+    if profile_doc:
+        from .profiling import profile_suite
+
+        # the sweep is untimed, so sample finer than the default
+        # interval — sub-10ms circuits still get attributable samples
+        pdoc = profile_suite(
+            circuits=list(circuits),
+            quick=quick,
+            runs=1,
+            verify_runs=verify_runs,
+            interval=0.001,
+        )
+        with open(profile_doc, "w") as f:
+            json.dump(pdoc, f, indent=2)
+            f.write("\n")
+        per_circuit = pdoc.get("per_circuit", {})
+        for entry in entries:
+            block = per_circuit.get(entry["name"]) or {
+                "sampled_s": 0.0,
+                "stages": {},
+            }
+            entry["profile"] = {
+                "sampled_s": block["sampled_s"],
+                "stages": {
+                    stage: info["functions"][:3]
+                    for stage, info in block["stages"].items()
+                    if info.get("functions")
+                },
+            }
+        profile_summary = {
+            "schema": pdoc["schema"],
+            "engine": pdoc["engine"],
+            "path": os.path.basename(profile_doc),
+            "wall_s": pdoc["wall_s"],
+            "attributed_pct": pdoc["attributed_pct"],
+        }
     doc = {
         "schema": BENCH_SCHEMA,
         "created_utc": _utc_now().strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -367,6 +411,8 @@ def run_bench(
             "circuits": len(entries),
         },
     }
+    if profile_summary is not None:
+        doc["profile"] = profile_summary
     if static_first:
         skipped = sum(
             1 for e in entries if e.get("static", {}).get("mc_skipped")
@@ -498,4 +544,18 @@ def validate_bench(doc) -> list[str]:
                 problems.append(f"{where}.static: not an object")
             elif not isinstance(static.get("mc_skipped"), bool):
                 problems.append(f"{where}.static.mc_skipped: not a bool")
+        # profile is optional (only --profile-doc runs carry it) but its
+        # per-stage hotspot lists must be well-formed when present
+        prof = entry.get("profile")
+        if prof is not None:
+            if not isinstance(prof, dict):
+                problems.append(f"{where}.profile: not an object")
+            elif not isinstance(prof.get("stages"), dict):
+                problems.append(f"{where}.profile.stages: not an object")
+            else:
+                for stage, funcs in prof["stages"].items():
+                    if not isinstance(funcs, list):
+                        problems.append(
+                            f"{where}.profile.stages[{stage}]: not a list"
+                        )
     return problems

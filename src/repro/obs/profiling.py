@@ -1,0 +1,1035 @@
+"""Stage-scoped hotspot profiler — the ``repro profile`` engine.
+
+Answers the question the bench harness cannot: not *which phase* got
+slow, but *which function inside it*.  The profiler runs inside the
+span tracer's contexts, so every sample folds to
+``pipeline-stage → function → callee`` and a flamegraph of the suite
+reads in the pipeline's own vocabulary (``espresso``, ``oracle``,
+``reachability`` …), not as one undifferentiated Python blob.
+
+Two engines, both stdlib-only:
+
+* ``sampler`` (default) — a daemon thread snapshots the workload
+  thread's Python stack via ``sys._current_frames()`` on a fixed
+  interval and asks the tracer (:meth:`Tracer.stack_of`) which span is
+  open at that instant.  Weights are the measured inter-sample delta,
+  so the profile is wall-time-faithful and the overhead stays in the
+  low single digits (the <10% contract ``tests/test_obs_profiling.py``
+  enforces).
+* ``cprofile`` — deterministic per-stage :mod:`cProfile` segments,
+  swapped at span boundaries through the tracer's listener hooks.
+  Exact call counts, higher overhead; for zooming into one circuit.
+
+``memory=True`` adds :mod:`tracemalloc` net-allocation deltas per
+stage plus the top allocating source lines.
+
+Everything exports through one stable document, ``repro-profile/1``
+(see docs/OBSERVABILITY.md): per-stage wall/self/sampled seconds and
+top functions, a global function table, folded stacks (collapsed-stack
+and speedscope renderings for flamegraphs), the metrics-registry work
+counters normalized to rates (cube-ops/sec, sim-events/sec …), and the
+environment fingerprint.  :func:`diff_profiles` compares two documents
+(``repro-profile-diff/1``: per-function self-time deltas, new and
+vanished frames) so a regression arrives with attribution.
+
+Self-time subtraction uses the *union* of child-span intervals, not
+their sum — ``adopt``-merged spans from the fault-campaign / fuzz
+executor pools overlap each other and their waiting parent, and a sum
+would double-count worker wall time in the folded totals
+(:func:`stage_totals_from_spans`).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sys
+import threading
+import time
+
+from .metrics import MetricsRegistry, get_metrics, set_metrics
+from .trace import Span, Tracer, tracing
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "PROFILE_DIFF_SCHEMA",
+    "UNATTRIBUTED",
+    "RATE_METRICS",
+    "CProfileEngine",
+    "ProfileSession",
+    "StackSampler",
+    "diff_profiles",
+    "hotspot_summary",
+    "profile_circuit",
+    "profile_circuit_run",
+    "profile_suite",
+    "render_diff_text",
+    "render_profile_text",
+    "stage_totals_from_spans",
+    "to_collapsed",
+    "to_speedscope",
+    "validate_profile",
+]
+
+PROFILE_SCHEMA = "repro-profile/1"
+PROFILE_DIFF_SCHEMA = "repro-profile-diff/1"
+
+#: stage label for samples taken outside any open span
+UNATTRIBUTED = "<unattributed>"
+
+#: default sampling interval (seconds): 500 Hz keeps the quick suite
+#: well inside the <10% overhead contract while resolving ~ms phases
+DEFAULT_INTERVAL = 0.002
+
+#: metrics-registry counter → work-normalized rate key in the document
+RATE_METRICS = {
+    "cover.cube_ops": "cube_ops_per_s",
+    "sim.events": "sim_events_per_s",
+    "sim.transitions": "sim_transitions_per_s",
+    "espresso.iterations": "espresso_iterations_per_s",
+    "delays.evaluated": "delays_evaluated_per_s",
+    "reachability.states": "reachability_states_per_s",
+}
+
+#: folded stacks are trimmed to start at this harness boundary frame
+_BOUNDARY_FUNC = "profile_circuit_run"
+
+
+def _stage_label(span: Span) -> str:
+    """Fold label of a span: the pipeline stage name when it is a
+    ``pipeline.stage`` span, else the span's own name."""
+    if span.name == "pipeline.stage":
+        return str(span.attrs.get("stage", span.name))
+    return span.name
+
+
+def _frame_label(code) -> str:
+    """``file.py:function`` label of a code object (or builtin name)."""
+    if isinstance(code, str):  # builtin reported by cProfile
+        return f"<{code}>"
+    base = os.path.basename(code.co_filename)
+    if base == "__init__.py":
+        parent = os.path.basename(os.path.dirname(code.co_filename))
+        base = f"{parent}/__init__.py"
+    return f"{base}:{code.co_name}"
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of (possibly overlapping) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    lo, hi = intervals[0]
+    for a, b in intervals[1:]:
+        if a > hi:
+            total += hi - lo
+            lo, hi = a, b
+        elif b > hi:
+            hi = b
+    return total + (hi - lo)
+
+
+def stage_totals_from_spans(spans: list[Span]) -> dict[str, dict]:
+    """Aggregate completed spans into ``{stage: wall/self/calls}``.
+
+    ``self_s`` is the span's duration minus the *union* of its direct
+    children's intervals clipped to the span — not their sum.  Adopted
+    cross-process spans (fault-campaign / fuzz pools) run concurrently
+    with each other and with the waiting parent, so a sum would count
+    worker wall time against both the worker span and the parent,
+    driving the parent's self-time negative and inflating folded
+    totals.  With the union, concurrent children can never subtract
+    more than the parent's own elapsed time.
+    """
+    done = [s for s in spans if s.end is not None]
+    ids = {s.span_id for s in done}
+    children: dict[int, list[Span]] = {}
+    for s in done:
+        if s.parent_id in ids:
+            children.setdefault(s.parent_id, []).append(s)
+    out: dict[str, dict] = {}
+    for s in done:
+        agg = out.setdefault(
+            _stage_label(s), {"wall_s": 0.0, "self_s": 0.0, "calls": 0}
+        )
+        agg["calls"] += 1
+        agg["wall_s"] += s.duration
+        covered = _union_length(
+            [
+                (max(c.start, s.start), min(c.end, s.end))
+                for c in children.get(s.span_id, ())
+                if c.end > s.start and c.start < s.end
+            ]
+        )
+        agg["self_s"] += max(0.0, s.duration - covered)
+    return out
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
+class StackSampler:
+    """Wall-clock sampling profiler for one workload thread.
+
+    A daemon thread wakes every ``interval`` seconds, reads the target
+    thread's Python stack from ``sys._current_frames()``, asks the
+    tracer which span is open on that thread, and accumulates the
+    measured inter-sample delta under ``(circuit, stage, frames)``.
+    Weighting by the *measured* delta (not the nominal interval) keeps
+    the profile wall-time-faithful even when the sampler oversleeps.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        interval: float = DEFAULT_INTERVAL,
+        target_tid: int | None = None,
+        max_depth: int = 80,
+    ) -> None:
+        self.tracer = tracer
+        self.interval = max(1e-4, float(interval))
+        self.target_tid = target_tid
+        self.max_depth = max_depth
+        #: ``{(circuit, stage, frames-tuple): seconds}``
+        self.weights: dict[tuple, float] = {}
+        self.sampled_s = 0.0
+        self.count = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self.target_tid is None:
+            self.target_tid = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profile-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        last = time.perf_counter()
+        while not self._stop.wait(self.interval):
+            if self._stop.is_set():
+                # stop raced the timeout: the workload thread is already
+                # past the measured region (blocked in join), so one
+                # more sample would charge scaffolding to the profile
+                break
+            now = time.perf_counter()
+            dt = now - last
+            last = now
+            frame = sys._current_frames().get(self.target_tid)
+            if frame is None:
+                continue
+            frames: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                frames.append(_frame_label(frame.f_code))
+                frame = frame.f_back
+                depth += 1
+            frames.reverse()
+            # trim runner/pytest scaffolding above the workload boundary
+            for i in range(len(frames) - 1, -1, -1):
+                if frames[i].endswith(f":{_BOUNDARY_FUNC}"):
+                    frames = frames[i:]
+                    break
+            stack = self.tracer.stack_of(self.target_tid)
+            stage = UNATTRIBUTED
+            circuit = ""
+            if stack:
+                stage = _stage_label(stack[-1])
+                for sp in reversed(stack):
+                    c = sp.attrs.get("circuit")
+                    if c:
+                        circuit = str(c)
+                        break
+            key = (circuit, stage, tuple(frames))
+            self.weights[key] = self.weights.get(key, 0.0) + dt
+            self.sampled_s += dt
+            self.count += 1
+
+
+class CProfileEngine:
+    """Deterministic per-stage profiling through the tracer's listeners.
+
+    One :class:`cProfile.Profile` segment runs between consecutive span
+    boundaries on the workload thread; at every boundary the finished
+    segment is harvested into the stage that was innermost while it
+    ran.  Function self-time is attributed per ``caller → callee`` edge
+    (two-deep folded stacks) with the residual self-time of root
+    functions folded as single-frame stacks, so segment totals are
+    preserved exactly.
+    """
+
+    def __init__(self) -> None:
+        self.tid = threading.get_ident()
+        #: ``{(circuit, stage, frames-tuple): seconds}``
+        self.weights: dict[tuple, float] = {}
+        #: ``{(circuit, stage, func): calls}``
+        self.calls: dict[tuple, int] = {}
+        self.sampled_s = 0.0
+        self.count = 0
+        self._prof = None
+        self._context: tuple[str, str] = ("", UNATTRIBUTED)
+        self._spans: list[tuple[int, str, str]] = []
+
+    def start(self) -> None:
+        self._begin("", UNATTRIBUTED)
+
+    def stop(self) -> None:
+        self._harvest()
+
+    # -- tracer listener protocol --------------------------------------
+    def span_started(self, span: Span) -> None:
+        if threading.get_ident() != self.tid:
+            return
+        self._harvest()
+        stage = _stage_label(span)
+        circuit = str(
+            span.attrs.get("circuit")
+            or (self._spans[-1][2] if self._spans else "")
+        )
+        self._spans.append((span.span_id, stage, circuit))
+        self._begin(circuit, stage)
+
+    def span_finished(self, span: Span) -> None:
+        if threading.get_ident() != self.tid:
+            return
+        self._harvest()
+        if self._spans and self._spans[-1][0] == span.span_id:
+            self._spans.pop()
+        if self._spans:
+            _, stage, circuit = self._spans[-1]
+            self._begin(circuit, stage)
+        else:
+            self._begin("", UNATTRIBUTED)
+
+    # -- segment management --------------------------------------------
+    def _begin(self, circuit: str, stage: str) -> None:
+        import cProfile
+
+        self._context = (circuit, stage)
+        self._prof = cProfile.Profile()
+        self._prof.enable()
+
+    def _harvest(self) -> None:
+        prof, self._prof = self._prof, None
+        if prof is None:
+            return
+        prof.disable()
+        circuit, stage = self._context
+        entries = prof.getstats()
+        callee_attr: dict[str, float] = {}
+        for e in entries:
+            caller = _frame_label(e.code)
+            for sub in e.calls or ():
+                callee = _frame_label(sub.code)
+                callee_attr[callee] = (
+                    callee_attr.get(callee, 0.0) + sub.inlinetime
+                )
+                key = (circuit, stage, (caller, callee))
+                self.weights[key] = self.weights.get(key, 0.0) + sub.inlinetime
+                self.sampled_s += sub.inlinetime
+        for e in entries:
+            func = _frame_label(e.code)
+            ckey = (circuit, stage, func)
+            self.calls[ckey] = self.calls.get(ckey, 0) + e.callcount
+            residual = e.inlinetime - callee_attr.get(func, 0.0)
+            if residual > 1e-9:
+                key = (circuit, stage, (func,))
+                self.weights[key] = self.weights.get(key, 0.0) + residual
+                self.sampled_s += residual
+        self.count += len(entries)
+
+
+class _MemoryWatch:
+    """Per-stage tracemalloc net-allocation deltas (tracer listener)."""
+
+    def __init__(self) -> None:
+        self._starts: dict[int, int] = {}
+        self.stages: dict[str, dict] = {}
+
+    def span_started(self, span: Span) -> None:
+        import tracemalloc
+
+        self._starts[span.span_id] = tracemalloc.get_traced_memory()[0]
+
+    def span_finished(self, span: Span) -> None:
+        import tracemalloc
+
+        start = self._starts.pop(span.span_id, None)
+        if start is None:
+            return
+        delta = tracemalloc.get_traced_memory()[0] - start
+        agg = self.stages.setdefault(
+            _stage_label(span), {"net_kb": 0.0, "spans": 0}
+        )
+        agg["net_kb"] += delta / 1024.0
+        agg["spans"] += 1
+
+
+# ----------------------------------------------------------------------
+# session
+# ----------------------------------------------------------------------
+class ProfileSession:
+    """Profile one block of pipeline work with stage attribution.
+
+    Installs a fresh tracer + metrics registry globally (restored on
+    exit), arms the chosen engine, and afterwards renders everything
+    into one ``repro-profile/1`` document::
+
+        with ProfileSession() as sess:
+            profile_circuit_run("chu150")
+        doc = sess.document(circuits=["chu150"])
+    """
+
+    def __init__(
+        self,
+        engine: str = "sampler",
+        interval: float = DEFAULT_INTERVAL,
+        memory: bool = False,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if engine not in ("sampler", "cprofile"):
+            raise ValueError(f"unknown profile engine {engine!r}")
+        self.engine_name = engine
+        self.interval = interval
+        self.memory = memory
+        self.tracer = tracer or Tracer()
+        self.wall_s: float | None = None
+        self.metrics_snapshot: dict = {"counters": {}, "gauges": {}}
+        self._engine: StackSampler | CProfileEngine | None = None
+        self._memwatch: _MemoryWatch | None = None
+        self._mem_top: list[dict] = []
+        self._mem_peak_kb = 0.0
+
+    def __enter__(self) -> "ProfileSession":
+        self._prev_metrics = get_metrics()
+        self.metrics = set_metrics(MetricsRegistry())
+        self._ctx = tracing(self.tracer)
+        self._ctx.__enter__()
+        if self.memory:
+            import tracemalloc
+
+            self._mem_started = not tracemalloc.is_tracing()
+            if self._mem_started:
+                tracemalloc.start()
+            tracemalloc.reset_peak()
+            self._memwatch = _MemoryWatch()
+            self.tracer.add_listener(self._memwatch)
+        self._prev_switch = sys.getswitchinterval()
+        if self.engine_name == "sampler":
+            # a CPU-bound workload thread only yields the GIL every
+            # switch interval (5ms default), which would starve the
+            # sampler below its nominal rate; halve it under the
+            # requested interval for the session
+            sys.setswitchinterval(min(self._prev_switch, self.interval / 2))
+            self._engine = StackSampler(self.tracer, interval=self.interval)
+            self._engine.start()
+        else:
+            self._engine = CProfileEngine()
+            self.tracer.add_listener(self._engine)
+            self._engine.start()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        sys.setswitchinterval(self._prev_switch)
+        if isinstance(self._engine, StackSampler):
+            self._engine.stop()
+        elif self._engine is not None:
+            self._engine.stop()
+            self.tracer.remove_listener(self._engine)
+        if self._memwatch is not None:
+            import tracemalloc
+
+            self.tracer.remove_listener(self._memwatch)
+            self._mem_peak_kb = tracemalloc.get_traced_memory()[1] / 1024.0
+            stats = tracemalloc.take_snapshot().statistics("lineno")[:10]
+            self._mem_top = [
+                {
+                    "site": "{}:{}".format(
+                        os.path.basename(st.traceback[0].filename),
+                        st.traceback[0].lineno,
+                    ),
+                    "kb": round(st.size / 1024.0, 1),
+                }
+                for st in stats
+            ]
+            if self._mem_started:
+                tracemalloc.stop()
+        self.metrics_snapshot = self.metrics.snapshot()
+        set_metrics(self._prev_metrics)
+        self._ctx.__exit__(None, None, None)
+        return False
+
+    # ------------------------------------------------------------------
+    def document(
+        self,
+        circuits: list[str] | None = None,
+        quick: bool = False,
+        runs: int = 1,
+        top: int = 25,
+    ) -> dict:
+        """Render the finished session as a ``repro-profile/1`` doc."""
+        if self.wall_s is None:
+            raise RuntimeError("ProfileSession still open: exit it first")
+        from .harness import environment_fingerprint
+
+        weights = self._engine.weights if self._engine else {}
+        span_totals = stage_totals_from_spans(self.tracer.spans())
+        stage_sampled: dict[str, float] = {}
+        stage_funcs: dict[tuple[str, str], float] = {}
+        func_total: dict[str, float] = {}
+        func_stage: dict[str, dict[str, float]] = {}
+        folded: dict[str, float] = {}
+        per_circuit: dict[str, dict] = {}
+        total_w = 0.0
+        attributed_w = 0.0
+        for (circuit, stage, frames), w in weights.items():
+            total_w += w
+            if stage != UNATTRIBUTED:
+                attributed_w += w
+            stage_sampled[stage] = stage_sampled.get(stage, 0.0) + w
+            leaf = frames[-1] if frames else "<unknown>"
+            stage_funcs[(stage, leaf)] = stage_funcs.get((stage, leaf), 0.0) + w
+            func_total[leaf] = func_total.get(leaf, 0.0) + w
+            fs = func_stage.setdefault(leaf, {})
+            fs[stage] = fs.get(stage, 0.0) + w
+            fold_key = ";".join((stage,) + frames) if frames else stage
+            folded[fold_key] = folded.get(fold_key, 0.0) + w
+            pc = per_circuit.setdefault(
+                circuit or "", {"sampled_s": 0.0, "stages": {}}
+            )
+            pc["sampled_s"] += w
+            ps = pc["stages"].setdefault(stage, {"sampled_s": 0.0, "funcs": {}})
+            ps["sampled_s"] += w
+            ps["funcs"][leaf] = ps["funcs"].get(leaf, 0.0) + w
+
+        calls = getattr(self._engine, "calls", None)
+
+        def _func_rows(stage: str, limit: int) -> list[dict]:
+            rows = sorted(
+                (
+                    (f, w)
+                    for (s, f), w in stage_funcs.items()
+                    if s == stage
+                ),
+                key=lambda kv: (-kv[1], kv[0]),
+            )
+            denom = stage_sampled.get(stage, 0.0) or 1e-12
+            out = []
+            for f, w in rows[:limit]:
+                row = {
+                    "func": f,
+                    "self_s": round(w, 6),
+                    "pct": round(100.0 * w / denom, 2),
+                }
+                if calls is not None:
+                    n = sum(
+                        c
+                        for (circ, s, fn), c in calls.items()
+                        if s == stage and fn == f
+                    )
+                    if n:
+                        row["calls"] = n
+                out.append(row)
+            return out
+
+        stages_doc = {}
+        order = sorted(
+            set(span_totals) | set(stage_sampled),
+            key=lambda s: (-stage_sampled.get(s, 0.0), s),
+        )
+        for stage in order:
+            st = span_totals.get(stage, {"wall_s": 0.0, "self_s": 0.0, "calls": 0})
+            stages_doc[stage] = {
+                "wall_s": round(st["wall_s"], 6),
+                "self_s": round(st["self_s"], 6),
+                "calls": st["calls"],
+                "sampled_s": round(stage_sampled.get(stage, 0.0), 6),
+                "functions": _func_rows(stage, top),
+            }
+        global_funcs = [
+            {
+                "func": f,
+                "self_s": round(w, 6),
+                "pct": round(100.0 * w / (total_w or 1e-12), 2),
+                "stage": max(func_stage[f].items(), key=lambda kv: kv[1])[0],
+            }
+            for f, w in sorted(
+                func_total.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:top]
+        ]
+        flat = dict(self.metrics_snapshot.get("counters", {}))
+        flat.update(self.metrics_snapshot.get("gauges", {}))
+        rates = {
+            key: round(flat[inst] / self.wall_s, 1)
+            for inst, key in RATE_METRICS.items()
+            if inst in flat and self.wall_s > 0
+        }
+        doc = {
+            "schema": PROFILE_SCHEMA,
+            "created_utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+                "%Y-%m-%dT%H:%M:%SZ"
+            ),
+            "engine": self.engine_name,
+            "interval_s": self.interval if self.engine_name == "sampler" else None,
+            "wall_s": round(self.wall_s, 6),
+            "sampled_s": round(total_w, 6),
+            "samples": self._engine.count if self._engine else 0,
+            "attributed_s": round(attributed_w, 6),
+            "attributed_pct": round(100.0 * attributed_w / total_w, 2)
+            if total_w
+            else 0.0,
+            "quick": bool(quick),
+            "runs": runs,
+            "circuits": list(circuits or []),
+            "env": environment_fingerprint(),
+            "stages": stages_doc,
+            "functions": global_funcs,
+            "folded": {
+                k: round(w, 6)
+                for k, w in sorted(folded.items())
+                if round(w, 6) > 0
+            },
+            "metrics": {k: flat[k] for k in sorted(flat)},
+            "rates": rates,
+        }
+        if self._memwatch is not None:
+            doc["memory"] = {
+                "peak_kb": round(self._mem_peak_kb, 1),
+                "stages": {
+                    stage: {
+                        "net_kb": round(agg["net_kb"], 1),
+                        "spans": agg["spans"],
+                    }
+                    for stage, agg in sorted(self._memwatch.stages.items())
+                },
+                "top": self._mem_top,
+            }
+        if per_circuit:
+            doc["per_circuit"] = {
+                circ: {
+                    "sampled_s": round(pc["sampled_s"], 6),
+                    "stages": {
+                        stage: {
+                            "sampled_s": round(ps["sampled_s"], 6),
+                            "functions": [
+                                {
+                                    "func": f,
+                                    "self_s": round(w, 6),
+                                    "pct": round(
+                                        100.0
+                                        * w
+                                        / (ps["sampled_s"] or 1e-12),
+                                        2,
+                                    ),
+                                }
+                                for f, w in sorted(
+                                    ps["funcs"].items(),
+                                    key=lambda kv: (-kv[1], kv[0]),
+                                )[:5]
+                            ],
+                        }
+                        for stage, ps in sorted(
+                            pc["stages"].items(),
+                            key=lambda kv: -kv[1]["sampled_s"],
+                        )
+                    },
+                }
+                for circ, pc in sorted(per_circuit.items())
+                if circ
+            }
+        return doc
+
+
+# ----------------------------------------------------------------------
+# suite drivers
+# ----------------------------------------------------------------------
+def profile_circuit_run(
+    name: str,
+    verify_runs: int = 1,
+    verify_transitions: int = 40,
+    seed: int = 0,
+) -> None:
+    """One synthesize+verify pass of a suite circuit under the current
+    (profiled) tracer.  This function is the folded-stack boundary:
+    sampled stacks are trimmed to start here."""
+    from ..bench.runner import sg_of
+    from ..core import synthesize, verify_hazard_freeness
+    from .trace import trace_span
+
+    with trace_span("bench-run", circuit=name):
+        sg = sg_of(name)
+        circuit = synthesize(sg, name=name)
+        verify_hazard_freeness(
+            circuit,
+            runs=verify_runs,
+            max_transitions=verify_transitions,
+            base_seed=seed,
+        )
+
+
+def profile_suite(
+    circuits: list[str] | None = None,
+    quick: bool = False,
+    runs: int = 1,
+    verify_runs: int | None = None,
+    engine: str = "sampler",
+    interval: float = DEFAULT_INTERVAL,
+    memory: bool = False,
+    top: int = 25,
+    progress=None,
+) -> dict:
+    """Profile the benchmark suite and return the profile document.
+
+    ``circuits`` defaults to the whole paper suite, or the quick subset
+    with ``quick``.  The workload matches ``repro bench`` (synthesize +
+    Monte-Carlo verify per circuit) so hotspots attribute the same
+    pipeline the bench numbers measure.
+    """
+    from ..bench.circuits import DISTRIBUTIVE_BENCHMARKS, NONDISTRIBUTIVE_BENCHMARKS
+    from .harness import quick_circuits
+
+    if circuits is None:
+        circuits = (
+            quick_circuits()
+            if quick
+            else list(DISTRIBUTIVE_BENCHMARKS) + list(NONDISTRIBUTIVE_BENCHMARKS)
+        )
+    if verify_runs is None:
+        verify_runs = 1 if quick else 3
+    # warm the workload's lazy imports outside the session: first-use
+    # module import otherwise lands as unattributed sample weight
+    from ..bench import runner as _runner  # noqa: F401
+    from ..core import synthesize, verify_hazard_freeness  # noqa: F401
+
+    with ProfileSession(engine=engine, interval=interval, memory=memory) as sess:
+        for name in circuits:
+            for _ in range(max(1, runs)):
+                profile_circuit_run(name, verify_runs=verify_runs)
+            if progress is not None:
+                progress(name)
+    return sess.document(circuits=list(circuits), quick=quick, runs=runs, top=top)
+
+
+def profile_circuit(
+    name: str,
+    runs: int = 1,
+    verify_runs: int = 1,
+    engine: str = "sampler",
+    interval: float = DEFAULT_INTERVAL,
+    memory: bool = False,
+    top: int = 25,
+) -> dict:
+    """Profile a single suite circuit (regress hotspot attribution)."""
+    return profile_suite(
+        circuits=[name],
+        runs=runs,
+        verify_runs=verify_runs,
+        engine=engine,
+        interval=interval,
+        memory=memory,
+        top=top,
+    )
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+def _func_selfs(doc: dict) -> dict[str, float]:
+    """Full-resolution per-function self seconds from the folded stacks."""
+    out: dict[str, float] = {}
+    for stack, w in doc.get("folded", {}).items():
+        leaf = stack.rsplit(";", 1)[-1]
+        out[leaf] = out.get(leaf, 0.0) + w
+    return {f: round(w, 6) for f, w in out.items()}
+
+
+def diff_profiles(a: dict, b: dict, top: int = 40, eps: float = 1e-6) -> dict:
+    """Differential profile ``b − a`` (``repro-profile-diff/1``).
+
+    Per-function self-time deltas (from the untruncated folded stacks),
+    functions new in ``b`` / vanished since ``a``, and per-stage wall
+    deltas.  ``empty`` is True when nothing moved beyond ``eps`` —
+    diffing a document against itself is exactly empty, which the
+    round-trip test relies on.
+    """
+    fa, fb = _func_selfs(a), _func_selfs(b)
+    rows = []
+    for func in sorted(set(fa) | set(fb)):
+        a_s, b_s = fa.get(func, 0.0), fb.get(func, 0.0)
+        delta = round(b_s - a_s, 6)
+        if abs(delta) <= eps and func in fa and func in fb:
+            continue
+        rows.append(
+            {
+                "func": func,
+                "a_s": a_s,
+                "b_s": b_s,
+                "delta_s": delta,
+                "ratio": round(b_s / a_s, 3) if a_s > eps else None,
+            }
+        )
+    rows.sort(key=lambda r: (-abs(r["delta_s"]), r["func"]))
+    new = sorted(f for f in fb if f not in fa and fb[f] > eps)
+    vanished = sorted(f for f in fa if f not in fb and fa[f] > eps)
+    stage_rows = []
+    sa = {s: blk.get("sampled_s", 0.0) for s, blk in a.get("stages", {}).items()}
+    sb = {s: blk.get("sampled_s", 0.0) for s, blk in b.get("stages", {}).items()}
+    for stage in sorted(set(sa) | set(sb)):
+        delta = round(sb.get(stage, 0.0) - sa.get(stage, 0.0), 6)
+        if abs(delta) > eps:
+            stage_rows.append(
+                {
+                    "stage": stage,
+                    "a_s": sa.get(stage, 0.0),
+                    "b_s": sb.get(stage, 0.0),
+                    "delta_s": delta,
+                }
+            )
+    stage_rows.sort(key=lambda r: (-abs(r["delta_s"]), r["stage"]))
+
+    def _head(doc: dict) -> dict:
+        return {
+            "created_utc": doc.get("created_utc"),
+            "git_sha": (doc.get("env") or {}).get("git_sha"),
+            "engine": doc.get("engine"),
+            "wall_s": doc.get("wall_s"),
+        }
+
+    moved = [r for r in rows if abs(r["delta_s"]) > eps]
+    return {
+        "schema": PROFILE_DIFF_SCHEMA,
+        "a": _head(a),
+        "b": _head(b),
+        "wall_delta_s": round(
+            float(b.get("wall_s") or 0.0) - float(a.get("wall_s") or 0.0), 6
+        ),
+        "functions": moved[:top],
+        "new": new,
+        "vanished": vanished,
+        "stages": stage_rows,
+        "empty": not moved and not new and not vanished and not stage_rows,
+    }
+
+
+def hotspot_summary(
+    doc: dict, stages: set[str] | list[str] | None = None, top: int = 3
+) -> dict[str, list[dict]]:
+    """Top-``top`` functions per stage of a profile document.
+
+    ``stages`` restricts to those stage names (None = all).  Used by
+    the regress gate (suspect phases only) and the bench per-entry
+    hotspot blocks.
+    """
+    out: dict[str, list[dict]] = {}
+    for stage, block in doc.get("stages", {}).items():
+        if stages is not None and stage not in stages:
+            continue
+        funcs = (block.get("functions") or [])[:top]
+        if funcs:
+            out[stage] = [dict(f) for f in funcs]
+    return out
+
+
+# ----------------------------------------------------------------------
+# exports
+# ----------------------------------------------------------------------
+def to_collapsed(doc: dict) -> str:
+    """Collapsed-stack text (Brendan Gregg folded format, µs weights):
+    one ``stage;frame;frame… <weight>`` line per unique stack — feed
+    straight into ``flamegraph.pl`` or speedscope."""
+    lines = [
+        f"{stack} {max(1, int(round(w * 1e6)))}"
+        for stack, w in sorted(doc.get("folded", {}).items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_speedscope(doc: dict, name: str | None = None) -> dict:
+    """Speedscope ``sampled`` profile of the folded stacks (open at
+    https://www.speedscope.app or with a local copy)."""
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+    samples: list[list[int]] = []
+    weights: list[float] = []
+    for stack, w in sorted(doc.get("folded", {}).items()):
+        idx = []
+        for part in stack.split(";"):
+            if part not in frame_index:
+                frame_index[part] = len(frames)
+                frames.append({"name": part})
+            idx.append(frame_index[part])
+        samples.append(idx)
+        weights.append(w)
+    total = round(sum(weights), 6)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name or f"repro profile ({doc.get('engine', '?')})",
+        "exporter": PROFILE_SCHEMA,
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name or "repro pipeline",
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+    }
+
+
+def render_profile_text(doc: dict, top: int = 15) -> str:
+    """Human summary: stage table + global top functions + rates."""
+    head = (
+        f"engine={doc.get('engine')} wall={doc.get('wall_s', 0):.3f}s "
+        f"sampled={doc.get('sampled_s', 0):.3f}s "
+        f"attributed={doc.get('attributed_pct', 0):.1f}% "
+        f"({doc.get('samples', 0)} samples)"
+    )
+    lines = [head, ""]
+    stages = doc.get("stages", {})
+    if stages:
+        lines.append(
+            f"{'stage':<22} {'wall_ms':>9} {'self_ms':>9} "
+            f"{'sampled_ms':>11} {'calls':>6}"
+        )
+        for stage, blk in stages.items():
+            lines.append(
+                f"{stage:<22} {blk.get('wall_s', 0) * 1e3:9.1f} "
+                f"{blk.get('self_s', 0) * 1e3:9.1f} "
+                f"{blk.get('sampled_s', 0) * 1e3:11.1f} "
+                f"{blk.get('calls', 0):6d}"
+            )
+        lines.append("")
+    funcs = doc.get("functions", [])[:top]
+    if funcs:
+        lines.append(f"top {len(funcs)} functions by self time:")
+        lines.append(f"  {'self_ms':>9} {'%':>6}  {'stage':<18} function")
+        for f in funcs:
+            lines.append(
+                f"  {f['self_s'] * 1e3:9.1f} {f['pct']:6.2f}  "
+                f"{f.get('stage', ''):<18} {f['func']}"
+            )
+        lines.append("")
+    rates = doc.get("rates", {})
+    if rates:
+        lines.append(
+            "rates: " + "  ".join(f"{k}={v:,.0f}" for k, v in sorted(rates.items()))
+        )
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_diff_text(diff: dict, top: int = 15) -> str:
+    """Human summary of a differential profile."""
+    a, b = diff.get("a", {}), diff.get("b", {})
+    lines = [
+        "profile diff: {} @ {}  ->  {} @ {}".format(
+            a.get("created_utc", "?"),
+            (a.get("git_sha") or "nosha")[:7],
+            b.get("created_utc", "?"),
+            (b.get("git_sha") or "nosha")[:7],
+        ),
+        f"wall delta: {diff.get('wall_delta_s', 0):+.3f}s",
+    ]
+    if diff.get("empty"):
+        lines.append("no per-function movement (profiles identical)")
+        return "\n".join(lines) + "\n"
+    rows = diff.get("functions", [])[:top]
+    if rows:
+        lines += ["", f"  {'delta_ms':>9} {'a_ms':>9} {'b_ms':>9}  function"]
+        for r in rows:
+            lines.append(
+                f"  {r['delta_s'] * 1e3:+9.1f} {r['a_s'] * 1e3:9.1f} "
+                f"{r['b_s'] * 1e3:9.1f}  {r['func']}"
+            )
+    if diff.get("new"):
+        lines.append("new frames: " + ", ".join(diff["new"][:10]))
+    if diff.get("vanished"):
+        lines.append("vanished frames: " + ", ".join(diff["vanished"][:10]))
+    stages = diff.get("stages", [])[:top]
+    if stages:
+        lines += ["", "per-stage sampled deltas:"]
+        for r in stages:
+            lines.append(
+                f"  {r['stage']:<22} {r['delta_s'] * 1e3:+9.1f} ms "
+                f"({r['a_s'] * 1e3:.1f} -> {r['b_s'] * 1e3:.1f})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def validate_profile(doc) -> list[str]:
+    """Validate a ``repro-profile/1`` document; returns problems ([] = ok)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != PROFILE_SCHEMA:
+        problems.append(
+            f"schema: expected {PROFILE_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    for key in ("wall_s", "sampled_s", "attributed_s"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            problems.append(f"{key}: missing or negative")
+    pct = doc.get("attributed_pct")
+    if not isinstance(pct, (int, float)) or not 0 <= pct <= 100:
+        problems.append("attributed_pct: not a percentage")
+    stages = doc.get("stages")
+    if not isinstance(stages, dict):
+        problems.append("stages: missing or not an object")
+    else:
+        for stage, blk in stages.items():
+            if not isinstance(blk, dict):
+                problems.append(f"stages[{stage}]: not an object")
+                continue
+            for key in ("wall_s", "self_s", "sampled_s"):
+                v = blk.get(key)
+                if not isinstance(v, (int, float)) or v < 0:
+                    problems.append(f"stages[{stage}].{key}: missing or negative")
+            if not isinstance(blk.get("functions"), list):
+                problems.append(f"stages[{stage}].functions: not a list")
+    if not isinstance(doc.get("folded"), dict):
+        problems.append("folded: missing or not an object")
+    if not isinstance(doc.get("env"), dict):
+        problems.append("env: missing or not an object")
+    return problems
+
+
+def load_profile_document(path_or_name: str, history_dir: str | None = None) -> dict:
+    """Load a profile document from a file path or a history entry.
+
+    Accepts a plain ``repro-profile/1`` JSON file, a
+    ``repro-run-history/1`` envelope file, or (with ``history_dir``)
+    the bare filename of an entry in the run-history index.
+    """
+    candidates = [path_or_name]
+    if history_dir:
+        candidates.append(os.path.join(history_dir, path_or_name))
+    for path in candidates:
+        if not os.path.exists(path):
+            continue
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") == "repro-run-history/1":
+            doc = doc.get("doc", {})
+        problems = validate_profile(doc)
+        if problems:
+            raise ValueError(f"{path}: not a valid profile: {problems[0]}")
+        return doc
+    raise FileNotFoundError(path_or_name)

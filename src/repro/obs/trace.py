@@ -13,8 +13,10 @@ Design rules:
   a disabled tracer hands out one shared null span whose enter/exit/set
   do nothing, so the untraced hot path pays a single attribute lookup
   and an ``if`` per instrumentation point;
-* **thread-safe** — the open-span stack is ``threading.local`` and the
-  completed-span buffer is guarded by a lock;
+* **thread-safe** — each thread has its own open-span stack (keyed by
+  thread id so a sampling profiler can snapshot another thread's stack
+  via :meth:`Tracer.stack_of`) and the completed-span buffer is guarded
+  by a lock;
 * **multiprocessing-safe** — a worker process records into its own
   local tracer (spans carry the recording pid) and ships the completed
   spans home as a picklable export; the parent re-parents them under
@@ -152,9 +154,16 @@ class Tracer:
         self.enabled = enabled
         self.pid = os.getpid()
         self._lock = threading.Lock()
-        self._local = threading.local()
+        # open-span stacks keyed by thread id; mutated only by the
+        # owning thread, but readable from a sampler thread (dict get /
+        # list copy are atomic under the GIL)
+        self._stacks: dict[int, list[Span]] = {}
         self._spans: list[Span] = []
         self._next_id = 1
+        #: objects with span_started(span)/span_finished(span) methods,
+        #: called synchronously on the recording thread (profilers hook
+        #: here to swap per-stage collectors)
+        self.listeners: list = []
         # absolute time base: epoch + perf_counter() is wall-clock with
         # monotonic high-resolution deltas
         self._epoch = time.time() - time.perf_counter()
@@ -166,10 +175,20 @@ class Tracer:
         return self._epoch + time.perf_counter()
 
     def _stack(self) -> list[Span]:
-        st = getattr(self._local, "stack", None)
+        tid = threading.get_ident()
+        st = self._stacks.get(tid)
         if st is None:
-            st = self._local.stack = []
+            st = self._stacks[tid] = []
         return st
+
+    def stack_of(self, tid: int) -> list[Span]:
+        """Snapshot of thread ``tid``'s open-span stack, outermost first.
+
+        Safe to call from any thread (used by the sampling profiler);
+        the returned list is a copy and never mutated by the tracer.
+        """
+        st = self._stacks.get(tid)
+        return list(st) if st else []
 
     def span(self, name: str, **attrs) -> "_SpanHandle | _NullSpan":
         """Open a span; use as a context manager."""
@@ -193,6 +212,8 @@ class Tracer:
 
     def _push(self, span: Span) -> None:
         self._stack().append(span)
+        for listener in self.listeners:
+            listener.span_started(span)
 
     def _pop(self, span: Span) -> None:
         span.end = self._now()
@@ -206,6 +227,19 @@ class Tracer:
                 pass
         with self._lock:
             self._spans.append(span)
+        for listener in self.listeners:
+            listener.span_finished(span)
+
+    def add_listener(self, listener) -> None:
+        """Register a span_started/span_finished observer."""
+        if listener not in self.listeners:
+            self.listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        try:
+            self.listeners.remove(listener)
+        except ValueError:
+            pass
 
     def current_span_id(self) -> int | None:
         """Id of the innermost open span on this thread (None outside)."""

@@ -186,7 +186,11 @@ class TestValidateBench:
 class TestBenchCli:
     def test_bench_quick_subset(self, tmp_path, capsys):
         out_path = tmp_path / "BENCH_ci.json"
-        assert main(["bench", "chu172", "--quick", "-o", str(out_path)]) == 0
+        # --no-history keeps the test from appending to the repo's
+        # real benchmarks/history/ ledger on every run
+        assert main(
+            ["bench", "chu172", "--quick", "--no-history", "-o", str(out_path)]
+        ) == 0
         captured = capsys.readouterr()
         assert f"wrote {out_path}" in captured.out
         assert "chu172" in captured.err  # progress goes to stderr

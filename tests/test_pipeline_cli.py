@@ -226,7 +226,7 @@ class TestBenchCaching:
         out = tmp_path / "BENCH.json"
         assert main(
             ["bench", "chu172", "--quick", "--cache-dir", cache_dir,
-             "-o", str(out)]
+             "--no-history", "-o", str(out)]
         ) == 0
         doc = json.loads(out.read_text())
         assert doc["cache"]["dir"] == str(pathlib.Path(cache_dir).resolve())
@@ -236,14 +236,16 @@ class TestBenchCaching:
         # warm: the second document is nearly all hits
         assert main(
             ["bench", "chu172", "--quick", "--cache-dir", cache_dir,
-             "-o", str(out)]
+             "--no-history", "-o", str(out)]
         ) == 0
         warm = json.loads(out.read_text())
         assert warm["cache"]["hit_rate"] >= 0.9
 
     def test_bench_without_store_has_no_cache_block(self, tmp_path, capsys):
         out = tmp_path / "BENCH.json"
-        assert main(["bench", "chu172", "--quick", "-o", str(out)]) == 0
+        assert main(
+            ["bench", "chu172", "--quick", "--no-history", "-o", str(out)]
+        ) == 0
         doc = json.loads(out.read_text())
         assert "cache" not in doc
         assert "cache" not in doc["circuits"][0]
