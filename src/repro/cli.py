@@ -909,7 +909,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
-    path = write_bench(doc, args.output)
+    try:
+        path = write_bench(doc, args.output, tag=args.tag)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     if args.chrome_trace:
         print(f"wrote {args.chrome_trace} (Chrome trace_event)")
     print(
@@ -1026,8 +1030,127 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_threshold_policy(args: argparse.Namespace):
+    """Committed config (when present) + explicit CLI flag overrides."""
+    from .obs.regress import (
+        DEFAULT_THRESHOLDS_PATH,
+        ThresholdPolicy,
+        Thresholds,
+        load_threshold_config,
+    )
+
+    config_path = args.thresholds
+    if config_path is None and os.path.exists(DEFAULT_THRESHOLDS_PATH):
+        config_path = DEFAULT_THRESHOLDS_PATH
+    policy = load_threshold_config(config_path) if config_path else ThresholdPolicy()
+    if (args.rel, args.abs_s, args.confirm) != (None, None, None):
+        base = policy.default
+        policy = ThresholdPolicy(
+            default=Thresholds(
+                rel=args.rel if args.rel is not None else base.rel,
+                abs_s=args.abs_s if args.abs_s is not None else base.abs_s,
+                confirm_runs=args.confirm
+                if args.confirm is not None
+                else base.confirm_runs,
+            ),
+            phases=policy.phases,
+        )
+    return policy, config_path
+
+
+def _cmd_regress_ratchet(args: argparse.Namespace, policy, config_path) -> int:
+    import json as json_mod
+
+    from .obs import analytics
+    from .obs.regress import DEFAULT_THRESHOLDS_PATH, save_threshold_config
+
+    if args.apply_ratchet:
+        with open(args.apply_ratchet) as f:
+            proposal = json_mod.load(f)
+        try:
+            new_policy = analytics.apply_ratchet(
+                proposal, policy, allow_loosen=args.allow_loosen
+            )
+        except analytics.RatchetError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        except ValueError as e:
+            print(f"error: {args.apply_ratchet}: {e}", file=sys.stderr)
+            return 2
+        out = args.thresholds or config_path or DEFAULT_THRESHOLDS_PATH
+        save_threshold_config(
+            new_policy,
+            out,
+            provenance={
+                "proposal_created_utc": proposal.get("created_utc"),
+                "proposal_git_sha": proposal.get("git_sha"),
+                "allow_loosen": bool(args.allow_loosen),
+            },
+        )
+        changed = {
+            p: t
+            for p, t in new_policy.phases.items()
+            if policy.for_phase(p) != t
+        }
+        print(
+            f"wrote {out}: {len(new_policy.phases)} phase override(s), "
+            f"{len(changed)} changed"
+        )
+        for phase, t in sorted(changed.items()):
+            old = policy.for_phase(phase)
+            print(
+                f"  {phase}: rel {old.rel:g} -> {t.rel:g}, "
+                f"abs {old.abs_s:g}s -> {t.abs_s:g}s"
+            )
+        return 0
+
+    proposal = analytics.propose_ratchet(
+        args.history_dir,
+        policy,
+        k=args.ratchet_k,
+        last_n=args.ratchet_last_n,
+    )
+    rendered = json_mod.dumps(proposal, indent=2)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered + "\n")
+        print(f"wrote {args.output} ({proposal['schema']})")
+    else:
+        print(rendered)
+    summary = (
+        f"ratchet: {len(proposal['phases'])} phase(s) with evidence, "
+        f"{proposal['tightened']} tighten, "
+        f"{len(proposal['stale_phases'])} stale"
+    )
+    print(summary, file=sys.stderr)
+    for row in proposal["phases"]:
+        if row["stale"]:
+            print(
+                f"  stale: {row['phase']} current rel "
+                f"{row['current']['rel']:g} vs measured floor "
+                f"{row['floor_rel']:g} (proposed {row['proposed']['rel']:g})",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def cmd_regress(args: argparse.Namespace) -> int:
-    from .obs.regress import Thresholds, load_baseline, run_regress
+    from .obs.regress import load_baseline, run_regress
+
+    try:
+        policy, config_path = _resolve_threshold_policy(args)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.propose_ratchet or args.apply_ratchet:
+        return _cmd_regress_ratchet(args, policy, config_path)
+    if not args.baseline:
+        print(
+            "error: --baseline is required (unless proposing or applying "
+            "a ratchet)",
+            file=sys.stderr,
+        )
+        return 2
 
     def progress(name: str, entry: dict) -> None:
         total = entry["total"]["median_s"]
@@ -1043,9 +1166,7 @@ def cmd_regress(args: argparse.Namespace) -> int:
             baseline,
             circuits=args.circuits or None,
             quick=args.quick,
-            thresholds=Thresholds(
-                rel=args.rel, abs_s=args.abs_s, confirm_runs=args.confirm
-            ),
+            thresholds=policy,
             remeasure=args.remeasure,
             progress=progress,
             hotspots=args.hotspots,
@@ -1081,6 +1202,173 @@ def cmd_regress(args: argparse.Namespace) -> int:
         )
         print(f"history: {entry.describe()}")
     return report.exit_code()
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .obs import analytics
+    from .obs.report import render_analytics_text, render_html
+
+    try:
+        doc = analytics.analyze(
+            args.history_dir,
+            window=args.window,
+            k=args.k,
+            min_rel=args.min_rel,
+            hotspot_top=args.top,
+        )
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if not doc["ledger"]["runs"]:
+        print(
+            f"error: no runs recorded in {args.history_dir} "
+            "(run `repro bench` with history enabled first)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.html:
+        with open(args.html, "w") as f:
+            f.write(render_html(doc) + "\n")
+        print(f"wrote {args.html} (self-contained observatory dashboard)")
+    if args.format == "json":
+        rendered = json_mod.dumps(doc, indent=2)
+    else:
+        rendered = render_analytics_text(doc, top=args.top)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rendered + "\n")
+        print(f"wrote {args.output} ({doc['schema']})")
+        if args.format == "text":
+            print(rendered)
+    else:
+        print(rendered)
+    return 0
+
+
+def _history_show(history, args) -> int:
+    import json as json_mod
+
+    entries = history.entries(args.kind)
+    if args.entry in (None, "latest"):
+        if not entries:
+            print("error: the ledger is empty", file=sys.stderr)
+            return 2
+        entry = entries[-1]
+    else:
+        matches = [e for e in entries if e.file.startswith(args.entry)]
+        if not matches:
+            print(
+                f"error: no ledger entry matching {args.entry!r} "
+                "(see `repro history ls`)",
+                file=sys.stderr,
+            )
+            return 2
+        entry = matches[-1]
+    try:
+        envelope = history.load(entry)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_mod.dumps(envelope, indent=2))
+        return 0
+    doc = envelope.get("doc") or {}
+    schema = str(doc.get("schema") or "")
+    print(entry.file)
+    print(
+        f"  {entry.kind} ({schema or 'no schema'}) at "
+        f"{(entry.git_sha or 'nosha')[:7]} on {entry.created_utc}, "
+        f"env {entry.env_digest}"
+    )
+    if schema.startswith("repro-bench/"):
+        circuits = doc.get("circuits", [])
+        totals = doc.get("totals", {})
+        print(
+            f"  {len(circuits)} circuit(s) in {totals.get('wall_s', 0):.1f}s"
+            f" (quick={doc.get('quick')}, runs={doc.get('runs_per_circuit')})"
+        )
+        slowest = sorted(
+            circuits, key=lambda c: -c.get("total", {}).get("median_s", 0.0)
+        )
+        for c in slowest[:5]:
+            print(
+                f"    {c['name']}: {c['total']['median_s'] * 1e3:8.1f} ms "
+                f"median ({c.get('states', '?')} states)"
+            )
+    elif schema.startswith("repro-profile/"):
+        print(
+            f"  engine {doc.get('engine')}, wall {doc.get('wall_s', 0):.1f}s,"
+            f" {doc.get('attributed_pct', 0):.1f}% attributed"
+        )
+        for fn in (doc.get("functions") or [])[:5]:
+            print(
+                f"    {fn['self_s'] * 1e3:8.1f} ms  {fn['func']}"
+                f"  [{fn.get('stage', '?')}]"
+            )
+    elif schema.startswith("repro-regress/"):
+        verdict = "OK" if doc.get("ok", True) else "REGRESSION"
+        base = doc.get("baseline") or {}
+        print(
+            f"  {verdict}: {doc.get('regressions', 0)} regression(s), "
+            f"{doc.get('cleared', 0)} cleared, baseline "
+            f"{base.get('created_utc')} at {(base.get('git_sha') or 'nosha')[:7]}"
+        )
+    else:
+        print(f"  (no pretty-printer for {schema!r}; use --json for the raw envelope)")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from .obs.registry import RunHistory
+
+    history = RunHistory(args.history_dir)
+
+    if args.history_command == "ls":
+        entries, torn = history.scan(args.kind)
+        if args.sha:
+            entries = [
+                e
+                for e in entries
+                if e.git_sha is not None and e.git_sha.startswith(args.sha)
+            ]
+        if args.since:
+            entries = [e for e in entries if e.created_utc >= args.since]
+        if args.until:
+            entries = [e for e in entries if e.created_utc <= args.until]
+        for e in entries:
+            print(e.describe())
+        if not entries:
+            print("(empty)")
+        if torn:
+            print(
+                f"warning: {torn} torn index line(s) skipped",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.history_command == "show":
+        return _history_show(history, args)
+
+    if args.history_command == "prune":
+        try:
+            report = history.prune(
+                args.keep_last, kind=args.kind, dry_run=args.dry_run
+            )
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(report.describe())
+        verb = "would remove" if report.dry_run else "removed"
+        for name in report.removed:
+            print(f"  {verb} {name}")
+        for name in report.protected:
+            print(f"  protected {name} (referenced as a baseline)")
+        return 0
+
+    print("error: unknown history command", file=sys.stderr)  # pragma: no cover
+    return 2  # pragma: no cover
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -1558,6 +1846,13 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="output path (default BENCH_<UTC-date>.json)"
     )
     p_b.add_argument(
+        "--tag",
+        metavar="NAME",
+        help="suffix the default filename (BENCH_<UTC-date>-NAME.json); "
+        "default-named documents never overwrite — same-day collisions "
+        "step to a deterministic -2/-3 suffix",
+    )
+    p_b.add_argument(
         "--chrome-trace",
         help="also write the last run's spans as Chrome trace_event JSON",
     )
@@ -1678,9 +1973,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_r.add_argument(
         "--baseline",
-        required=True,
         metavar="FILE",
-        help="baseline bench document (e.g. BENCH_2026-08-07.json)",
+        help="baseline bench document (e.g. BENCH_2026-08-07.json); "
+        "required except with --propose-ratchet / --apply-ratchet",
     )
     p_r.add_argument(
         "--quick",
@@ -1688,24 +1983,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="only the quick circuit subset present in the baseline",
     )
     p_r.add_argument(
+        "--thresholds",
+        metavar="FILE",
+        help="repro-thresholds/1 config with the default band and "
+        "ratcheted per-phase overrides (default: "
+        "benchmarks/regress-thresholds.json when present)",
+    )
+    p_r.add_argument(
         "--rel",
         type=float,
-        default=0.25,
-        help="relative slowdown band before a phase is suspect (default 0.25)",
+        default=None,
+        help="relative slowdown band before a phase is suspect "
+        "(overrides the config default; built-in default 0.25)",
     )
     p_r.add_argument(
         "--abs",
         dest="abs_s",
         type=float,
-        default=0.005,
+        default=None,
         help="absolute noise floor in seconds on top of the band "
-        "(default 0.005)",
+        "(overrides the config default; built-in default 0.005)",
     )
     p_r.add_argument(
         "--confirm",
         type=int,
-        default=3,
-        help="re-measure runs per suspect circuit before conviction",
+        default=None,
+        help="re-measure runs per suspect circuit before conviction "
+        "(overrides the config default; built-in default 3)",
+    )
+    p_r.add_argument(
+        "--propose-ratchet",
+        action="store_true",
+        help="derive tightened per-phase thresholds from the run-history "
+        "noise floor and emit a repro-ratchet/1 proposal (no benchmark "
+        "runs; -o writes the proposal JSON)",
+    )
+    p_r.add_argument(
+        "--apply-ratchet",
+        metavar="PROPOSAL",
+        help="fold a repro-ratchet/1 proposal into the committed "
+        "threshold config (refuses to loosen without --allow-loosen)",
+    )
+    p_r.add_argument(
+        "--allow-loosen",
+        action="store_true",
+        help="let --apply-ratchet accept rows that loosen a threshold",
+    )
+    p_r.add_argument(
+        "--ratchet-k",
+        type=float,
+        default=5.0,
+        help="proposed band = k x the measured MAD noise floor (default 5)",
+    )
+    p_r.add_argument(
+        "--ratchet-last-n",
+        type=int,
+        default=10,
+        metavar="N",
+        help="clean runs per circuit the floor is measured over (default 10)",
     )
     p_r.add_argument(
         "--remeasure",
@@ -1743,6 +2078,109 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_history_args(p_r)
     p_r.set_defaults(func=cmd_regress)
+
+    from .obs.registry import DEFAULT_HISTORY_DIR
+
+    p_rep = sub.add_parser(
+        "report",
+        help="cross-run analytics over the run-history ledger "
+        "(trends, changepoints, observatory dashboard)",
+    )
+    p_rep.add_argument(
+        "--history-dir",
+        default=DEFAULT_HISTORY_DIR,
+        help=f"run-history registry directory (default {DEFAULT_HISTORY_DIR})",
+    )
+    p_rep.add_argument(
+        "--html",
+        metavar="PATH",
+        help="write the self-contained HTML observatory dashboard "
+        "(inline CSS/SVG, no external fetches)",
+    )
+    p_rep.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json = the full repro-analytics/1 document)",
+    )
+    p_rep.add_argument("-o", "--output", help="write the report to a file")
+    p_rep.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        help="changepoint detector window, runs per side (default 3)",
+    )
+    p_rep.add_argument(
+        "--k",
+        type=float,
+        default=4.0,
+        help="changepoint sensitivity: shift > k x MAD (default 4)",
+    )
+    p_rep.add_argument(
+        "--min-rel",
+        type=float,
+        default=0.2,
+        dest="min_rel",
+        help="minimum relative shift a changepoint must clear (default 0.2)",
+    )
+    p_rep.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="hotspot functions tracked across profile documents (default 10)",
+    )
+    p_rep.set_defaults(func=cmd_report)
+
+    p_h = sub.add_parser(
+        "history", help="inspect and compact the run-history ledger"
+    )
+    p_h.add_argument(
+        "--history-dir",
+        default=DEFAULT_HISTORY_DIR,
+        help=f"run-history registry directory (default {DEFAULT_HISTORY_DIR})",
+    )
+    hist_sub = p_h.add_subparsers(dest="history_command", required=True)
+    p_hl = hist_sub.add_parser("ls", help="list ledger entries, oldest first")
+    p_hl.add_argument("--kind", help="only this document kind (bench, ...)")
+    p_hl.add_argument("--sha", metavar="PREFIX", help="only this git SHA prefix")
+    p_hl.add_argument(
+        "--since", metavar="UTC", help="only entries created at/after this"
+    )
+    p_hl.add_argument(
+        "--until", metavar="UTC", help="only entries created at/before this"
+    )
+    p_hs = hist_sub.add_parser(
+        "show", help="pretty-print one stored run by its schema"
+    )
+    p_hs.add_argument(
+        "entry",
+        nargs="?",
+        default="latest",
+        help="ledger filename (prefix ok) or 'latest' (the default)",
+    )
+    p_hs.add_argument("--kind", help="with 'latest': latest of this kind")
+    p_hs.add_argument(
+        "--json", action="store_true", help="dump the raw stored envelope"
+    )
+    p_hp = hist_sub.add_parser(
+        "prune",
+        help="compact to the last N runs per kind "
+        "(referenced baselines always survive)",
+    )
+    p_hp.add_argument(
+        "--keep-last",
+        type=int,
+        required=True,
+        metavar="N",
+        help="runs to keep per kind",
+    )
+    p_hp.add_argument("--kind", help="only prune this document kind")
+    p_hp.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without touching the ledger",
+    )
+    p_h.set_defaults(func=cmd_history)
 
     p_c = sub.add_parser(
         "cache", help="inspect and maintain the pipeline artifact cache"

@@ -28,7 +28,16 @@ instrumentation hooks without cycles:
   ``repro profile``: sampling/cProfile engines folded through the span
   tracer's contexts, ``repro-profile/1`` documents, collapsed-stack /
   speedscope flamegraph exports, and differential profiles
-  (``repro-profile-diff/1``).
+  (``repro-profile-diff/1``);
+* :mod:`repro.obs.analytics` — cross-run analytics over the run-history
+  ledger behind ``repro report``: per-phase/per-circuit time series,
+  median/MAD noise floors, the changepoint detector that attributes
+  sustained shifts to a commit range (``repro-analytics/1``), and the
+  auto-ratchet engine that derives tightened regress thresholds from
+  measured noise (``repro-ratchet/1``; imported lazily);
+* :mod:`repro.obs.report` — renderers for the analytics document,
+  including the self-contained HTML observatory dashboard (inline
+  CSS/SVG sparklines, zero external fetches).
 
 See docs/OBSERVABILITY.md for schemas and instrumentation guidance.
 """

@@ -96,9 +96,13 @@ def _utc_now() -> datetime.datetime:
     return datetime.datetime.now(datetime.timezone.utc)
 
 
-def default_bench_path(directory: str = ".") -> str:
-    """``BENCH_<UTC-date>.json`` in ``directory``."""
+def default_bench_path(directory: str = ".", tag: str | None = None) -> str:
+    """``BENCH_<UTC-date>[-tag].json`` in ``directory``."""
     stamp = _utc_now().strftime("%Y-%m-%d")
+    if tag:
+        if not all(c.isalnum() or c in "-_" for c in tag):
+            raise ValueError(f"bench tag must be [-_a-zA-Z0-9], got {tag!r}")
+        stamp = f"{stamp}-{tag}"
     return os.path.join(directory, f"BENCH_{stamp}.json")
 
 
@@ -435,13 +439,36 @@ def run_bench(
     return doc
 
 
-def write_bench(doc: dict, path: str | None = None) -> str:
-    """Write the bench document (default ``BENCH_<UTC-date>.json``)."""
-    path = path or default_bench_path()
-    with open(path, "w") as f:
-        json.dump(doc, f, indent=2)
-        f.write("\n")
-    return path
+def write_bench(doc: dict, path: str | None = None, tag: str | None = None) -> str:
+    """Write the bench document (default ``BENCH_<UTC-date>.json``).
+
+    An *explicit* ``path`` keeps plain overwrite semantics — the caller
+    named the file, the caller owns it.  When the path is derived (no
+    ``path`` given, optionally a ``--tag``), the write is
+    **collision-aware**: a same-day document is never silently
+    overwritten; the writer steps to a deterministic ``-2``, ``-3``, …
+    suffix instead, so two benches on one UTC day both survive.
+    """
+    if path is not None:
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        return path
+    base = default_bench_path(tag=tag)
+    stem, ext = os.path.splitext(base)
+    for n in range(1, 1000):
+        candidate = base if n == 1 else f"{stem}-{n}{ext}"
+        try:
+            f = open(candidate, "x")
+        except FileExistsError:
+            continue
+        with f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        return candidate
+    raise RuntimeError(  # pragma: no cover - 1000 same-day documents
+        f"cannot reserve a bench filename near {base}"
+    )
 
 
 # ----------------------------------------------------------------------

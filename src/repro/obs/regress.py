@@ -31,21 +31,33 @@ error.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
 from .harness import bench_circuit, environment_fingerprint, run_bench
 from .registry import fingerprint_digest
 
 __all__ = [
+    "DEFAULT_THRESHOLDS_PATH",
     "REGRESS_SCHEMA",
+    "THRESHOLDS_SCHEMA",
     "PhaseDelta",
     "RegressReport",
+    "ThresholdPolicy",
     "Thresholds",
     "load_baseline",
+    "load_threshold_config",
     "run_regress",
+    "save_threshold_config",
 ]
 
 REGRESS_SCHEMA = "repro-regress/1"
+THRESHOLDS_SCHEMA = "repro-thresholds/1"
+
+#: the committed threshold config the auto-ratchet rewrites
+DEFAULT_THRESHOLDS_PATH = os.path.join("benchmarks", "regress-thresholds.json")
 
 
 @dataclass(frozen=True)
@@ -66,6 +78,103 @@ class Thresholds:
 
     def allowed(self, base_s: float) -> float:
         return base_s * (1.0 + self.rel) + self.abs_s
+
+    def to_json(self) -> dict:
+        return {"rel": self.rel, "abs_s": self.abs_s}
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """Per-phase regression thresholds: a default band plus overrides.
+
+    The auto-ratchet engine (:mod:`repro.obs.analytics`) tightens the
+    ``phases`` overrides as the measured noise floor drops; phases the
+    ledger has no evidence for fall back to ``default``.  Serialized
+    as the committed ``repro-thresholds/1`` config
+    (``benchmarks/regress-thresholds.json``) so the gate's bands are
+    code-reviewed like any other committed baseline.
+    """
+
+    default: Thresholds = Thresholds()
+    phases: Mapping[str, Thresholds] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+
+    def for_phase(self, phase: str) -> Thresholds:
+        return self.phases.get(phase, self.default)
+
+    def allowed(self, phase: str, base_s: float) -> float:
+        return self.for_phase(phase).allowed(base_s)
+
+    @property
+    def confirm_runs(self) -> int:
+        return self.default.confirm_runs
+
+    def to_json(self) -> dict:
+        return {
+            "default": {
+                "rel": self.default.rel,
+                "abs_s": self.default.abs_s,
+                "confirm_runs": self.default.confirm_runs,
+            },
+            "phases": {
+                name: th.to_json() for name, th in sorted(self.phases.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ThresholdPolicy":
+        d = doc.get("default") or {}
+        default = Thresholds(
+            rel=float(d.get("rel", 0.25)),
+            abs_s=float(d.get("abs_s", 0.005)),
+            confirm_runs=int(d.get("confirm_runs", 3)),
+        )
+        phases = {
+            name: Thresholds(
+                rel=float(o.get("rel", default.rel)),
+                abs_s=float(o.get("abs_s", default.abs_s)),
+                confirm_runs=default.confirm_runs,
+            )
+            for name, o in (doc.get("phases") or {}).items()
+        }
+        return cls(default=default, phases=MappingProxyType(phases))
+
+
+def load_threshold_config(path: str) -> ThresholdPolicy:
+    """Read a committed ``repro-thresholds/1`` config file."""
+    import json
+
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != THRESHOLDS_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {THRESHOLDS_SCHEMA} config "
+            f"(got {doc.get('schema')!r})"
+        )
+    return ThresholdPolicy.from_json(doc)
+
+
+def save_threshold_config(
+    policy: ThresholdPolicy, path: str, provenance: dict | None = None
+) -> str:
+    """Write the threshold config (the ``--apply-ratchet`` output)."""
+    import datetime
+    import json
+
+    doc = {
+        "schema": THRESHOLDS_SCHEMA,
+        "updated_utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        **policy.to_json(),
+    }
+    if provenance:
+        doc["provenance"] = provenance
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    return path
 
 
 @dataclass
@@ -115,7 +224,7 @@ class RegressReport:
 
     baseline_created: str
     baseline_sha: str | None
-    thresholds: Thresholds
+    thresholds: ThresholdPolicy
     env_match: bool
     current: dict = field(default_factory=dict)
     deltas: list[PhaseDelta] = field(default_factory=list)
@@ -156,9 +265,13 @@ class RegressReport:
                 "git_sha": self.baseline_sha,
             },
             "thresholds": {
-                "rel": self.thresholds.rel,
-                "abs_s": self.thresholds.abs_s,
-                "confirm_runs": self.thresholds.confirm_runs,
+                "rel": self.thresholds.default.rel,
+                "abs_s": self.thresholds.default.abs_s,
+                "confirm_runs": self.thresholds.default.confirm_runs,
+                "phases": {
+                    name: th.to_json()
+                    for name, th in sorted(self.thresholds.phases.items())
+                },
             },
             "env_match": self.env_match,
             "ok": self.ok,
@@ -226,9 +339,14 @@ class RegressReport:
             "",
             f"- baseline: `{self.baseline_created}` at "
             f"`{(self.baseline_sha or 'nosha')[:7]}`",
-            f"- thresholds: rel +{self.thresholds.rel * 100:.0f}%, "
-            f"abs {self.thresholds.abs_s * 1e3:.1f} ms, "
-            f"confirm {self.thresholds.confirm_runs} re-run(s)",
+            f"- thresholds: rel +{self.thresholds.default.rel * 100:.0f}%, "
+            f"abs {self.thresholds.default.abs_s * 1e3:.1f} ms, "
+            f"confirm {self.thresholds.default.confirm_runs} re-run(s)"
+            + (
+                f", {len(self.thresholds.phases)} ratcheted phase override(s)"
+                if self.thresholds.phases
+                else ""
+            ),
             f"- environment match: {'yes' if self.env_match else 'NO'}",
             "",
         ]
@@ -354,7 +472,7 @@ def run_regress(
     baseline: dict,
     circuits: list[str] | None = None,
     quick: bool = False,
-    thresholds: Thresholds | None = None,
+    thresholds: Thresholds | ThresholdPolicy | None = None,
     remeasure: bool = True,
     telemetry: bool = True,
     progress=None,
@@ -376,7 +494,9 @@ def run_regress(
     document supplies baseline self-times so each hotspot carries a
     delta, not just an absolute number.
     """
-    thresholds = thresholds or Thresholds()
+    thresholds = thresholds or ThresholdPolicy()
+    if isinstance(thresholds, Thresholds):
+        thresholds = ThresholdPolicy(default=thresholds)
     base_entries = {e["name"]: e for e in baseline.get("circuits", [])}
     if circuits is None:
         if quick:
@@ -436,7 +556,7 @@ def run_regress(
                 phase=phase,
                 base_s=base_s,
                 cur_s=cur_s,
-                allowed_s=thresholds.allowed(base_s),
+                allowed_s=thresholds.allowed(phase, base_s),
                 best_s=cur_s,
             )
             if cur_s > delta.allowed_s:

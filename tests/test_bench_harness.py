@@ -158,6 +158,54 @@ class TestEnvironmentAndIO:
         path = write_bench(quick_doc, str(tmp_path / "BENCH_test.json"))
         assert json.loads(pathlib.Path(path).read_text()) == quick_doc
 
+    def test_default_path_tag_suffix(self):
+        assert re.fullmatch(
+            r"\./BENCH_\d{4}-\d{2}-\d{2}-static\.json",
+            default_bench_path(tag="static"),
+        )
+
+    def test_tag_validation(self):
+        with pytest.raises(ValueError, match="tag"):
+            default_bench_path(tag="../evil")
+
+    def test_default_path_never_overwrites(
+        self, tmp_path, quick_doc, monkeypatch
+    ):
+        """Two same-day default-named writes both survive: the second
+        steps to a deterministic -2 suffix instead of clobbering."""
+        monkeypatch.chdir(tmp_path)
+        first = write_bench(quick_doc)
+        second = write_bench({**quick_doc, "runs_per_circuit": 99})
+        third = write_bench(quick_doc)
+        assert first != second != third
+        assert second == first.replace(".json", "-2.json")
+        assert third == first.replace(".json", "-3.json")
+        assert json.loads(pathlib.Path(first).read_text()) == quick_doc
+        assert (
+            json.loads(pathlib.Path(second).read_text())["runs_per_circuit"]
+            == 99
+        )
+
+    def test_tagged_default_path_collision_steps(
+        self, tmp_path, quick_doc, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        first = write_bench(quick_doc, tag="static")
+        second = write_bench(quick_doc, tag="static")
+        assert "-static" in first
+        assert second == first.replace(".json", "-2.json")
+
+    def test_explicit_path_keeps_overwrite_semantics(
+        self, tmp_path, quick_doc
+    ):
+        target = str(tmp_path / "BENCH_pinned.json")
+        write_bench({**quick_doc, "runs_per_circuit": 1}, target)
+        write_bench({**quick_doc, "runs_per_circuit": 2}, target)
+        assert (
+            json.loads(pathlib.Path(target).read_text())["runs_per_circuit"]
+            == 2
+        )
+
 
 class TestValidateBench:
     def test_rejects_non_object(self):

@@ -160,3 +160,82 @@ class TestReporting:
         p.write_text('{"schema": "other/9"}')
         with pytest.raises(ValueError, match="baseline"):
             load_baseline(str(p))
+
+
+class TestThresholdPolicy:
+    def test_phase_override_wins(self):
+        from repro.obs.regress import ThresholdPolicy
+
+        policy = ThresholdPolicy(
+            default=Thresholds(rel=0.25, abs_s=0.005),
+            phases={"minimize": Thresholds(rel=0.10, abs_s=0.001)},
+        )
+        assert policy.for_phase("minimize").rel == 0.10
+        assert policy.for_phase("oracle").rel == 0.25
+        assert policy.allowed("minimize", 0.100) == pytest.approx(0.111)
+        assert policy.allowed("oracle", 0.100) == pytest.approx(0.130)
+
+    def test_json_round_trip(self):
+        from repro.obs.regress import ThresholdPolicy
+
+        policy = ThresholdPolicy(
+            default=Thresholds(rel=0.3, abs_s=0.01, confirm_runs=5),
+            phases={"espresso": Thresholds(rel=0.12, abs_s=0.002)},
+        )
+        again = ThresholdPolicy.from_json(policy.to_json())
+        assert again.default == policy.default
+        assert again.for_phase("espresso").rel == pytest.approx(0.12)
+        assert again.for_phase("espresso").abs_s == pytest.approx(0.002)
+        # overrides carry only the band; confirm_runs follows the default
+        assert again.for_phase("espresso").confirm_runs == 5
+        assert again.confirm_runs == 5
+
+    def test_config_file_round_trip(self, tmp_path):
+        from repro.obs.regress import (
+            THRESHOLDS_SCHEMA,
+            ThresholdPolicy,
+            load_threshold_config,
+            save_threshold_config,
+        )
+
+        path = str(tmp_path / "thr.json")
+        policy = ThresholdPolicy(
+            phases={"minimize": Thresholds(rel=0.08, abs_s=0.001)}
+        )
+        save_threshold_config(policy, path, provenance={"why": "test"})
+        import json as json_mod
+
+        doc = json_mod.load(open(path))
+        assert doc["schema"] == THRESHOLDS_SCHEMA
+        assert doc["provenance"] == {"why": "test"}
+        loaded = load_threshold_config(path)
+        assert loaded.for_phase("minimize").rel == pytest.approx(0.08)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        from repro.obs.regress import load_threshold_config
+
+        p = tmp_path / "bad.json"
+        p.write_text('{"schema": "other/9"}')
+        with pytest.raises(ValueError, match="repro-thresholds/1"):
+            load_threshold_config(str(p))
+
+    def test_run_regress_accepts_policy(self, baseline):
+        """A ratcheted per-phase override flows into the gate's allowed
+        band (and the report names the override count)."""
+        from repro.obs.regress import ThresholdPolicy
+
+        policy = ThresholdPolicy(
+            default=Thresholds(rel=5.0, abs_s=1.0, confirm_runs=1),
+            phases={"minimize": Thresholds(rel=4.0, abs_s=0.9)},
+        )
+        report = run_regress(
+            baseline, thresholds=policy, telemetry=False, remeasure=False
+        )
+        assert report.ok
+        doc = report.to_json_doc()
+        assert doc["thresholds"]["phases"]["minimize"]["rel"] == 4.0
+        mins = [d for d in doc["deltas"] if d["phase"] == "minimize"]
+        others = [d for d in doc["deltas"] if d["phase"] == "total"]
+        # override band is tighter than the default band
+        assert mins[0]["allowed_s"] < others[0]["allowed_s"] + 0.1  # sanity
+        assert "ratcheted phase override" in report.render_markdown()

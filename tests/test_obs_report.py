@@ -1,0 +1,117 @@
+"""The observatory dashboard renderers.
+
+The acceptance property for the HTML artifact: **self-contained**.
+Inline CSS, inline SVG, zero references that would make a browser
+touch the network — the CI-published dashboard must open offline and
+never leak timing data to a third party.
+"""
+
+import pytest
+
+from repro.obs.analytics import analyze
+from repro.obs.registry import RunHistory
+from repro.obs.report import render_analytics_text, render_html
+
+from .test_obs_analytics import _bench_doc, _profile_doc, _regress_doc
+
+#: anything that could trigger an external fetch in a browser
+_FETCH_MARKERS = (
+    "http://",
+    "https://",
+    "src=",
+    "url(",
+    "@import",
+    "<link",
+    "<script",
+    "<img",
+    "<iframe",
+    "fetch(",
+    "XMLHttpRequest",
+)
+
+
+@pytest.fixture()
+def doc(tmp_path):
+    history = RunHistory(str(tmp_path / "h"))
+    for i in range(6):
+        d = _bench_doc(i, f"{i:02d}" + "a" * 38, 0.010)
+        d["circuits"][0]["telemetry"] = {
+            "min_omega_margin": 2.0,
+            "min_delay_slack": 1.5,
+        }
+        d["circuits"][0]["coverage"] = {"states_pct": 90.0}
+        history.append("bench", d)
+    for i in range(6, 12):
+        history.append("bench", _bench_doc(i, "9f" + "b" * 38, 0.025))
+    history.append("profile", _profile_doc(12, "9f" + "b" * 38, 0.2))
+    history.append("regress", _regress_doc(13, "9f" + "b" * 38, ok=True))
+    return analyze(history)
+
+
+class TestHtmlDashboard:
+    def test_self_contained(self, doc):
+        html = render_html(doc)
+        lowered = html.lower()
+        for marker in _FETCH_MARKERS:
+            assert marker.lower() not in lowered, marker
+
+    def test_has_sparklines_and_panels(self, doc):
+        html = render_html(doc)
+        assert html.count("<svg") >= 3
+        assert 'class="line"' in html  # the trend polylines
+        assert "min_omega_margin" not in html  # labels, not raw keys
+        assert "ω-margin" in html
+        assert "SG state coverage" in html
+        assert "Hotspot self-time trends" in html
+
+    def test_changepoint_markers_and_commit_range(self, doc):
+        assert doc["changepoints"], "fixture must contain a changepoint"
+        html = render_html(doc)
+        assert 'class="cp-slower"' in html  # marker on the sparkline
+        # the commit range is named in the changepoint table
+        frm = doc["changepoints"][0]["from_sha"][:7]
+        to = doc["changepoints"][0]["to_sha"][:7]
+        assert f"{frm}..{to}" in html
+
+    def test_regress_status_rendered(self, doc):
+        html = render_html(doc)
+        assert ">OK<" in html
+
+    def test_function_names_escaped(self, doc):
+        """Profiled frames like ``cover.py:<setcomp>`` must not inject
+        markup into the document."""
+        html = render_html(doc)
+        assert "<setcomp>" not in html
+        assert "&lt;setcomp&gt;" in html
+
+    def test_dark_mode_and_no_series_colored_text(self, doc):
+        html = render_html(doc)
+        assert "prefers-color-scheme: dark" in html
+        assert "--series-1" in html
+
+    def test_integrity_problems_surface(self, tmp_path):
+        history = RunHistory(str(tmp_path / "h"))
+        for i in range(2):
+            history.append("bench", _bench_doc(i, "a" * 40, 0.01))
+        with open(history.index_path, "a") as f:
+            f.write("{torn")
+        html = render_html(analyze(history))
+        assert "ledger integrity" in html
+        assert "1 torn index line(s)" in html
+
+
+class TestTextReport:
+    def test_summary_lines(self, doc):
+        text = render_analytics_text(doc)
+        assert "16 run(s)" not in text  # sanity: fixture is 14 runs
+        assert "bench=12" in text
+        assert "changepoints (" in text
+        assert "slower x" in text
+        assert "last regress: OK" in text
+
+    def test_quiet_ledger(self, tmp_path):
+        history = RunHistory(str(tmp_path / "h"))
+        for i in range(3):
+            history.append("bench", _bench_doc(i, "a" * 40, 0.01))
+        text = render_analytics_text(analyze(history))
+        assert "changepoints: none detected" in text
